@@ -1,0 +1,77 @@
+"""Shared infrastructure for the figure-regeneration benches.
+
+Each bench file regenerates one of the paper's tables/figures: it runs the
+relevant configurations over the full 14-benchmark suite, prints the
+figure as a table (rows = benchmarks, columns = configurations), reports
+the regeneration time through pytest-benchmark, and asserts the *shape*
+of the paper's result (who wins, by roughly what factor).
+
+Scale: figures run the suite at ``REPRO_BENCH_SCALE`` (default 6.0 here —
+large enough for ~50-100 timer ticks per run).  Contexts and perfect
+profiles are cached per scale and shared between bench files within one
+pytest session.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Dict, List
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.harness.accuracy import PerfectProfiles, collect_perfect_profiles
+from repro.harness.experiment import ExperimentContext, prepare
+from repro.workloads.suite import Workload, benchmark_suite
+
+_BENCH_SCALE_DEFAULT = 6.0
+
+_perfect_cache: Dict[str, PerfectProfiles] = {}
+
+
+def bench_scale() -> float:
+    raw = os.environ.get("REPRO_BENCH_SCALE")
+    return float(raw) if raw else _BENCH_SCALE_DEFAULT
+
+
+def suite() -> List[Workload]:
+    return benchmark_suite()
+
+
+def context_for(workload: Workload) -> ExperimentContext:
+    return prepare(workload, scale=bench_scale())
+
+
+def perfect_for(workload: Workload) -> PerfectProfiles:
+    ctx = context_for(workload)
+    key = f"{workload.name}@{bench_scale()}"
+    if key not in _perfect_cache:
+        _perfect_cache[key] = collect_perfect_profiles(ctx)
+    return _perfect_cache[key]
+
+
+def average(values) -> float:
+    values = list(values)
+    return sum(values) / len(values)
+
+
+FIGURES_PATH = os.environ.get(
+    "REPRO_FIGURES", os.path.join(_ROOT, "bench_figures.txt")
+)
+
+
+def emit(text: str) -> None:
+    """Print a rendered figure and append it to the figures file.
+
+    pytest captures stdout of passing tests, so the canonical record of
+    every regenerated figure is ``bench_figures.txt`` at the repo root
+    (truncated at the start of each bench session by the conftest).
+    """
+    print(text)
+    sys.stdout.flush()
+    with open(FIGURES_PATH, "a") as fh:
+        fh.write(text)
+        fh.write("\n")

@@ -1,0 +1,54 @@
+"""Sections 2.2/3.1: classic Ball-Larus path profiling overhead.
+
+Paper context: Ball and Larus report 31% average path-profiling overhead
+(up to 73-97% for branchy programs) with array-indexed counters and
+back-edge path boundaries — the baseline PEP's hybrid design beats.
+
+Shape asserted: classic BLPP costs tens of percent on average — far more
+than PEP's instrumentation (the entire point of the paper) — yet far
+less than the hash-based perfect-path configuration, with the loopiest
+benchmarks worst.
+"""
+
+from benchmarks._common import average, context_for, emit, suite
+from repro.harness.experiment import CLASSIC_BLPP, INSTR_ONLY, run_config
+from repro.harness.report import render_overhead_figure
+
+COLUMNS = ["classic BLPP", "PEP instrumentation"]
+
+
+def regenerate():
+    normalized = {name: {} for name in COLUMNS}
+    for workload in suite():
+        ctx = context_for(workload)
+        _, blpp = run_config(ctx, CLASSIC_BLPP)
+        _, pep = run_config(ctx, INSTR_ONLY)
+        normalized["classic BLPP"][workload.name] = blpp.cycles / ctx.base_cycles
+        normalized["PEP instrumentation"][workload.name] = (
+            pep.cycles / ctx.base_cycles
+        )
+    return normalized
+
+
+def test_sec22_blpp_baseline(benchmark):
+    normalized = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    names = [w.name for w in suite()]
+    emit(
+        render_overhead_figure(
+            "Section 2.2: classic Ball-Larus path profiling vs PEP "
+            "instrumentation",
+            names,
+            COLUMNS,
+            normalized,
+        )
+    )
+
+    blpp = [normalized["classic BLPP"][n] - 1.0 for n in names]
+    pep = [normalized["PEP instrumentation"][n] - 1.0 for n in names]
+
+    # Tens of percent on average (paper: 31%)...
+    assert 0.10 < average(blpp) < 0.60
+    # ...with loopy outliers well above the mean (paper: 73-97%).
+    assert max(blpp) > 1.5 * average(blpp)
+    # PEP's instrumentation is roughly an order of magnitude cheaper.
+    assert average(pep) < average(blpp) / 4

@@ -1,0 +1,60 @@
+"""Section 5.1: overhead of the perfect-profile instrumentation.
+
+Paper result: instrumentation-based path profiling (PEP-style placement,
+hashed count[r]++ at every would-be sample point) costs 92% on average
+(8-407%); instrumentation-based edge profiling costs 10% on average
+(0-34%).  Tolerable, because these configurations exist only to collect
+ground truth.
+
+Shape asserted: path instrumentation costs tens of percent with a wide
+spread, an order of magnitude above edge instrumentation; edge
+instrumentation sits around ten percent.
+"""
+
+from benchmarks._common import average, context_for, emit, suite
+from repro.harness.experiment import PERFECT_EDGE, PERFECT_PATH, run_config
+from repro.harness.report import render_overhead_figure
+
+COLUMNS = ["perfect path", "perfect edge"]
+
+
+def regenerate():
+    normalized = {name: {} for name in COLUMNS}
+    for workload in suite():
+        ctx = context_for(workload)
+        _, path_result = run_config(ctx, PERFECT_PATH)
+        _, edge_result = run_config(ctx, PERFECT_EDGE)
+        normalized["perfect path"][workload.name] = (
+            path_result.cycles / ctx.base_cycles
+        )
+        normalized["perfect edge"][workload.name] = (
+            edge_result.cycles / ctx.base_cycles
+        )
+    return normalized
+
+
+def test_sec51_perfect_instrumentation(benchmark):
+    normalized = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    names = [w.name for w in suite()]
+    emit(
+        render_overhead_figure(
+            "Section 5.1: perfect-profile instrumentation overhead",
+            names,
+            COLUMNS,
+            normalized,
+        )
+    )
+
+    path_ov = [normalized["perfect path"][n] - 1.0 for n in names]
+    edge_ov = [normalized["perfect edge"][n] - 1.0 for n in names]
+
+    # Path instrumentation: tens of percent, wide spread (paper 8-407%).
+    assert 0.30 < average(path_ov) < 2.5
+    assert max(path_ov) > 2.5 * min(path_ov)
+
+    # Edge instrumentation: around ten percent (paper 0-34%).
+    assert 0.02 < average(edge_ov) < 0.30
+    assert max(edge_ov) < 0.40
+
+    # The cost asymmetry the whole design rests on (section 3.2).
+    assert average(path_ov) > 3 * average(edge_ov)

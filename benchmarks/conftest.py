@@ -1,0 +1,18 @@
+"""Bench-suite pytest configuration."""
+
+import os
+
+
+def pytest_configure(config):
+    # Start each bench session with a fresh figures file (see _common.emit).
+    from benchmarks._common import FIGURES_PATH
+
+    try:
+        os.remove(FIGURES_PATH)
+    except FileNotFoundError:
+        pass
+
+
+def pytest_collection_modifyitems(items):
+    # Keep figure order stable: fig6, fig7, fig8, ... as named.
+    items.sort(key=lambda item: item.nodeid)

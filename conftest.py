@@ -1,0 +1,13 @@
+"""Pytest bootstrap: make ``src/`` importable without installation.
+
+The canonical install is ``pip install -e .``; this fallback keeps the test
+and benchmark suites runnable from a plain checkout (e.g. offline CI images
+that cannot build editable wheels).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Calibration sweep: per-workload overhead + accuracy snapshot.
+
+Development tool (not a bench): prints the quantities the paper's figures
+are built from, so cost-model and workload changes can be sanity-checked
+in one place.  Run with an optional scale argument (default 6).
+"""
+
+import sys
+import time
+
+sys.path.insert(0, "src")
+
+from repro.harness.experiment import (
+    BASE,
+    CLASSIC_BLPP,
+    INSTR_ONLY,
+    PERFECT_EDGE,
+    PERFECT_PATH,
+    pep_config,
+    prepare,
+    run_config,
+)
+from repro.harness.accuracy import collect_perfect_profiles, path_accuracy, edge_accuracy
+from repro.sampling.arnold_grove import SamplingConfig
+from repro.workloads.suite import benchmark_suite
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 6.0
+    names = sys.argv[2].split(",") if len(sys.argv) > 2 else None
+    print(
+        f"{'bench':10s} {'base(k)':>8s} {'instr%':>7s} {'p11%':>6s} {'p64%':>6s} "
+        f"{'ppath%':>7s} {'pedge%':>7s} {'blpp%':>6s} "
+        f"{'paths':>6s} {'acc11':>6s} {'acc64':>6s} {'eacc11':>6s} {'eacc64':>6s} {'wall':>5s}"
+    )
+    for workload in benchmark_suite():
+        if names and workload.name not in names:
+            continue
+        t0 = time.time()
+        ctx = prepare(workload, scale=scale)
+        base = ctx.base_cycles
+
+        def ov(cfg):
+            _, res = run_config(ctx, cfg)
+            return (res.cycles / base - 1.0) * 100
+
+        instr = ov(INSTR_ONLY)
+        p11 = ov(pep_config(1, 1))
+        p64 = ov(pep_config(64, 17))
+        ppath = ov(PERFECT_PATH)
+        pedge = ov(PERFECT_EDGE)
+        blpp = ov(CLASSIC_BLPP)
+
+        perfect = collect_perfect_profiles(ctx)
+        acc11 = path_accuracy(ctx, SamplingConfig(1, 1), perfect) * 100
+        acc64 = path_accuracy(ctx, SamplingConfig(64, 17), perfect) * 100
+        eacc11 = edge_accuracy(ctx, SamplingConfig(1, 1), perfect) * 100
+        eacc64 = edge_accuracy(ctx, SamplingConfig(64, 17), perfect) * 100
+        print(
+            f"{workload.name:10s} {base/1000:8.0f} {instr:7.2f} {p11:6.2f} "
+            f"{p64:6.2f} {ppath:7.1f} {pedge:7.2f} {blpp:6.1f} "
+            f"{perfect.paths.distinct_paths():6d} {acc11:6.1f} {acc64:6.1f} "
+            f"{eacc11:6.1f} {eacc64:6.1f} {time.time()-t0:5.1f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

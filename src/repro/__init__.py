@@ -1,0 +1,26 @@
+"""PEP: continuous path and edge profiling.
+
+A full reproduction of Bond & McKinley, "Continuous Path and Edge
+Profiling" (MICRO 2005), including the virtual-machine substrate it runs
+on.  See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured results.
+
+Public entry points:
+
+* :mod:`repro.bytecode` — guest ISA and program builder
+* :mod:`repro.lang` — mini-language front end
+* :mod:`repro.cfg` — control-flow graphs, loops, and the P-DAG
+* :mod:`repro.profiling` — Ball-Larus / smart path numbering and profiles
+* :mod:`repro.instrument` — PEP, full-BLPP, and edge instrumentation passes
+* :mod:`repro.sampling` — timer + (simplified) Arnold-Grove sampling
+* :mod:`repro.vm` — the interpreter and virtual-cycle cost model
+* :mod:`repro.adaptive` — baseline/optimizing compilers, adaptive + replay
+* :mod:`repro.metrics` — Wall matching, overlap, overhead summaries
+* :mod:`repro.workloads` — synthetic SPEC JVM98 / DaCapo-like benchmarks
+* :mod:`repro.harness` — experiment driver used by the benches
+* :mod:`repro.api` — one-call profiling (``api.profile(program)``)
+* :mod:`repro.persist` — JSON advice files and profile serialization
+* ``python -m repro`` — CLI: run/profile/disasm MiniJ programs
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,129 @@
+"""Command-line interface: run, profile, and inspect MiniJ programs.
+
+Usage::
+
+    python -m repro run program.mj            # execute, print output
+    python -m repro profile program.mj        # PEP(64,17) profile
+    python -m repro profile --perfect p.mj    # full-instrumentation profile
+    python -m repro disasm program.mj         # compiled bytecode listing
+    python -m repro bench-list                # the paper's workload suite
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _load_program(path: str):
+    from repro.lang import compile_source
+
+    with open(path) as fh:
+        return compile_source(fh.read(), name=path)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.adaptive.optimizing import optimize_method
+    from repro.vm.costs import CostModel
+    from repro.vm.runtime import VirtualMachine
+
+    program = _load_program(args.source)
+    costs = CostModel()
+    code = {}
+    for method in program.iter_methods():
+        cm, _ = optimize_method(method, program, args.opt, None, costs)
+        code[method.name] = cm
+    vm = VirtualMachine(code, program.main, costs=costs)
+    result = vm.run()
+    for value in result.output:
+        print(value)
+    print(
+        f"[exit {result.return_value}; {result.cycles:.0f} virtual cycles]",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro import api
+
+    program = _load_program(args.source)
+    report = api.profile(
+        program,
+        samples=args.samples,
+        stride=args.stride,
+        ticks=args.ticks,
+        perfect=args.perfect,
+    )
+    mode = "perfect" if args.perfect else f"PEP({args.samples},{args.stride})"
+    print(f"# {mode} profile of {args.source}")
+    print(f"overhead: {report.overhead * 100:.2f}%")
+    if not args.perfect:
+        print(f"samples:  {report.result.samples_taken}")
+    print(f"paths:    {report.paths.distinct_paths()} distinct")
+    print()
+    print("hot paths (method, path number, flow):")
+    for (method, number), flow in report.hot_paths()[: args.top]:
+        print(f"  {method:24s} {number:<6d} {flow:12.0f}")
+    print()
+    print("branch biases:")
+    for branch, bias in sorted(report.branch_biases().items()):
+        print(f"  {str(branch):28s} {bias * 100:6.1f}% taken")
+    return 0
+
+
+def cmd_disasm(args: argparse.Namespace) -> int:
+    from repro.bytecode.disasm import disassemble_program
+
+    print(disassemble_program(_load_program(args.source)))
+    return 0
+
+
+def cmd_bench_list(_args: argparse.Namespace) -> int:
+    from repro.workloads.suite import benchmark_suite
+
+    for workload in benchmark_suite():
+        print(f"{workload.name:12s} {workload.group:10s} "
+              f"ticks_target={workload.ticks_target}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PEP continuous path and edge profiling (MICRO 2005)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="execute a MiniJ program")
+    run_p.add_argument("source")
+    run_p.add_argument("--opt", type=int, default=2, choices=(0, 1, 2))
+    run_p.set_defaults(func=cmd_run)
+
+    prof_p = sub.add_parser("profile", help="profile a MiniJ program with PEP")
+    prof_p.add_argument("source")
+    prof_p.add_argument("--samples", type=int, default=64)
+    prof_p.add_argument("--stride", type=int, default=17)
+    prof_p.add_argument("--ticks", type=int, default=200)
+    prof_p.add_argument("--top", type=int, default=10)
+    prof_p.add_argument("--perfect", action="store_true")
+    prof_p.set_defaults(func=cmd_profile)
+
+    dis_p = sub.add_parser("disasm", help="print compiled bytecode")
+    dis_p.add_argument("source")
+    dis_p.set_defaults(func=cmd_disasm)
+
+    bench_p = sub.add_parser("bench-list", help="list the workload suite")
+    bench_p.set_defaults(func=cmd_bench_list)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,49 @@
+"""Adaptive compilation: the Jikes-RVM-shaped substrate (paper section 4).
+
+* :mod:`repro.adaptive.passes` — optimizer passes: inlining (which makes
+  several IR branches share one bytecode branch), constant folding with
+  branch elimination, dead-code elimination, and edge-profile-guided
+  branch layout (the profile-sensitive optimization of section 6.5);
+* :mod:`repro.adaptive.baseline` — the baseline compiler: fast, slow code,
+  one-time edge instrumentation (section 4.2);
+* :mod:`repro.adaptive.optimizing` — the optimizing compiler: three
+  levels, plus the requested profiling instrumentation (PEP, full path,
+  full edge, classic BLPP);
+* :mod:`repro.adaptive.controller` — sample-driven recompilation;
+* :mod:`repro.adaptive.replay` — replay compilation: record advice from an
+  adaptive run, then compile deterministically from it (section 5).
+"""
+
+from repro.adaptive.passes import (
+    apply_branch_layout,
+    eliminate_dead_code,
+    fold_constants,
+    inline_small_methods,
+)
+from repro.adaptive.baseline import compile_baseline
+from repro.adaptive.optimizing import INSTRUMENTATION_MODES, optimize_method
+from repro.adaptive.controller import AdaptiveConfig, AdaptiveSystem
+from repro.adaptive.replay import (
+    Advice,
+    ReplayImage,
+    record_advice,
+    replay_compile,
+    run_iteration,
+)
+
+__all__ = [
+    "apply_branch_layout",
+    "eliminate_dead_code",
+    "fold_constants",
+    "inline_small_methods",
+    "compile_baseline",
+    "INSTRUMENTATION_MODES",
+    "optimize_method",
+    "AdaptiveConfig",
+    "AdaptiveSystem",
+    "Advice",
+    "ReplayImage",
+    "record_advice",
+    "replay_compile",
+    "run_iteration",
+]

@@ -1,0 +1,141 @@
+"""The adaptive optimization system (paper section 4.1).
+
+Methods start baseline-compiled; timer-driven method samples accumulate,
+and crossing a threshold triggers recompilation at the next optimization
+level using the edge profile available *at that moment* — the one-time
+baseline profile in a stock configuration, or the continuously updated
+profile when PEP is collecting (section 6.5 / figure 11).  Compile time
+is charged to the running program, as on the paper's single test machine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.bytecode.method import Program
+from repro.sampling.arnold_grove import (
+    ArnoldGroveSampler,
+    SamplingConfig,
+    TimerMethodSampler,
+)
+from repro.adaptive.baseline import compile_baseline
+from repro.adaptive.optimizing import optimize_method
+from repro.vm.costs import CostModel
+from repro.vm.interpreter import CompiledMethod
+from repro.vm.runtime import VirtualMachine
+
+
+class AdaptiveConfig:
+    """Knobs of the adaptive system."""
+
+    __slots__ = ("thresholds", "pep", "instrumentation")
+
+    def __init__(
+        self,
+        thresholds: Tuple[Tuple[int, int], ...] = ((2, 0), (6, 1), (14, 2)),
+        pep: Optional[SamplingConfig] = None,
+        instrumentation: Optional[str] = None,
+    ) -> None:
+        # thresholds: (samples needed, opt level), ascending.
+        self.thresholds = thresholds
+        # PEP sampling configuration; implies "pep" instrumentation.
+        self.pep = pep
+        self.instrumentation = (
+            instrumentation if instrumentation is not None
+            else ("pep" if pep is not None else None)
+        )
+
+
+class AdaptiveSystem:
+    """Owns the code cache and reacts to method samples."""
+
+    def __init__(
+        self,
+        program: Program,
+        costs: Optional[CostModel] = None,
+        config: Optional[AdaptiveConfig] = None,
+    ) -> None:
+        self.program = program
+        self.costs = costs if costs is not None else CostModel()
+        self.config = config if config is not None else AdaptiveConfig()
+        self.samples: Dict[str, int] = {}
+        self.levels: Dict[str, Optional[int]] = {}  # None = baseline
+        self.versions: Dict[str, int] = {}
+        self.compile_log: List[Tuple[str, int]] = []
+        self.startup_compile_cycles = 0.0
+        self.code: Dict[str, CompiledMethod] = {}
+        self._bootstrap()
+
+    def _bootstrap(self) -> None:
+        """Baseline-compile every method, as class loading would."""
+        for method in self.program.iter_methods():
+            cm, cycles = compile_baseline(method, self.costs, version=0)
+            self.code[method.name] = cm
+            self.levels[method.name] = None
+            self.versions[method.name] = 0
+            self.startup_compile_cycles += cycles
+
+    def make_vm(
+        self,
+        tick_interval: float,
+        tick_jitter: float = 0.0,
+        jitter_seed: int = 0,
+    ) -> VirtualMachine:
+        """A VM wired to this system's code cache and sample listener."""
+        if self.config.pep is not None:
+            sampler = ArnoldGroveSampler(self.config.pep)
+        else:
+            sampler = TimerMethodSampler()
+        vm = VirtualMachine(
+            self.code,
+            self.program.main,
+            costs=self.costs,
+            tick_interval=tick_interval,
+            sampler=sampler,
+            method_sample_listener=self.on_method_sample,
+            tick_jitter=tick_jitter,
+            jitter_seed=jitter_seed,
+        )
+        # Startup (baseline) compilation happened before main ran, but it
+        # is part of the program's wall-clock just the same.
+        vm.cycles += self.startup_compile_cycles
+        vm.compile_cycles += self.startup_compile_cycles
+        return vm
+
+    # -- the sample listener -------------------------------------------------
+
+    def on_method_sample(self, vm: VirtualMachine, source_name: str) -> float:
+        """Count a sample; recompile when a threshold is crossed."""
+        count = self.samples.get(source_name, 0) + 1
+        self.samples[source_name] = count
+
+        target: Optional[int] = None
+        for needed, level in self.config.thresholds:
+            if count >= needed:
+                target = level
+        if target is None:
+            return 0.0
+        current = self.levels.get(source_name)
+        if current is not None and current >= target:
+            return 0.0
+
+        method = self.program.methods.get(source_name)
+        if method is None:
+            return 0.0
+        version = self.versions[source_name] + 1
+        cm, compile_cycles = optimize_method(
+            method,
+            self.program,
+            target,
+            vm.edge_profile,
+            self.costs,
+            version=version,
+            instrumentation=self.config.instrumentation,
+        )
+        vm.code[source_name] = cm
+        self.code[source_name] = cm
+        self.levels[source_name] = target
+        self.versions[source_name] = version
+        self.compile_log.append((source_name, target))
+        vm.charge_compile(compile_cycles)
+        return compile_cycles

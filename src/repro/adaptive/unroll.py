@@ -1,0 +1,110 @@
+"""Loop unrolling (body replication) for simple counted loops.
+
+The paper notes that loop unrolling — like inlining — makes *multiple IR
+branches map to the same bytecode branch* (section 4.3); PEP then
+accumulates all their executions into one taken/not-taken counter pair.
+This pass implements the simplest sound form: for a self-contained
+single-block loop body, replicate the body once with a cloned header test
+between the copies::
+
+      H: if cond -> B | X            H:  if cond -> B1 | X
+      B: ...; goto H        ==>      B1: ...; goto H2
+                                     H2: if cond -> B2 | X   (same origin)
+                                     B2: ...; goto H
+
+Semantics are preserved exactly (the condition is re-tested between
+copies); the win in a real compiler is amortised loop overhead, modelled
+here by the cost model's per-jump/branch charges.  Both header tests keep
+the original bytecode branch id, which is the property the profiler
+tests care about.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.bytecode.instructions import Br, Jmp
+from repro.bytecode.method import Method
+from repro.cfg.graph import CFG
+from repro.cfg.loops import analyze_loops
+
+
+def unroll_simple_loops(
+    method: Method,
+    max_body_size: int = 40,
+    max_unrolls: int = 4,
+) -> int:
+    """Replicate eligible loop bodies once; returns how many loops."""
+    candidates = _find_candidates(method, max_body_size)
+    unrolled = 0
+    for header_label, body_label in candidates:
+        if unrolled >= max_unrolls:
+            break
+        _unroll_at(method, header_label, body_label)
+        unrolled += 1
+    return unrolled
+
+
+def _find_candidates(
+    method: Method, max_body_size: int
+) -> List[Tuple[str, str]]:
+    cfg = CFG.from_method(method)
+    loops = analyze_loops(cfg)
+    preds = cfg.preds
+    found: List[Tuple[str, str]] = []
+    for tail, header in loops.back_edges:
+        header_block = method.block(header)
+        term = header_block.terminator
+        if not isinstance(term, Br):
+            continue
+        # The loop body must be a single block: the back-edge tail itself,
+        # entered only from the header, jumping straight back.
+        body_label = tail
+        if body_label == header:
+            continue  # self-loop on the header: nothing to replicate
+        if term.then_label == body_label:
+            exit_label = term.else_label
+        elif term.else_label == body_label:
+            exit_label = term.then_label
+        else:
+            continue  # body not directly targeted by the header test
+        body = method.block(body_label)
+        if not isinstance(body.terminator, Jmp) or body.terminator.label != header:
+            continue
+        if preds[body_label] != [header]:
+            continue
+        if len(body.instrs) > max_body_size:
+            continue
+        if exit_label == body_label:
+            continue
+        found.append((header, body_label))
+    return found
+
+
+def _unroll_at(method: Method, header_label: str, body_label: str) -> None:
+    header = method.block(header_label)
+    body = method.block(body_label)
+    term = header.terminator
+    assert isinstance(term, Br)
+
+    suffix = f".u{len(method.blocks)}"
+    header2_label = f"{header_label}{suffix}"
+    body2_label = f"{body_label}{suffix}"
+
+    # Second header test: a clone of the original branch, keeping its
+    # bytecode origin — two IR branches, one bytecode branch.
+    header2 = header.clone(header2_label)
+    header2_term = header2.terminator
+    assert isinstance(header2_term, Br)
+    if header2_term.then_label == body_label:
+        header2_term.then_label = body2_label
+    else:
+        header2_term.else_label = body2_label
+    method.add_block(header2)
+
+    body2 = body.clone(body2_label)  # still jumps to the original header
+    method.add_block(body2)
+
+    # First body copy now falls into the second test.
+    assert isinstance(body.terminator, Jmp)
+    body.terminator.label = header2_label

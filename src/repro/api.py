@@ -1,0 +1,181 @@
+"""High-level convenience API: profile a guest program with PEP.
+
+For users who just want profiles, without assembling the compiler
+pipeline by hand::
+
+    from repro import api
+    from repro.bytecode import ProgramBuilder
+
+    pb = ProgramBuilder("demo")
+    ...
+    report = api.profile(pb.build())
+    for (method, path), flow in report.hot_paths()[:10]:
+        print(method, path, flow)
+
+``profile`` compiles every method with the optimizing compiler (PEP
+instrumentation as the final pass), calibrates a virtual timer from an
+uninstrumented dry run, executes the program under simplified
+Arnold-Grove sampling, and returns the collected path and edge profiles
+plus accessors for the quantities the paper's evaluation uses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.bytecode.method import BranchRef, Program
+from repro.bytecode.validate import verify_program
+from repro.instrument.pep import apply_pep
+from repro.instrument.blpp_full import apply_full_blpp
+from repro.instrument.yieldpoints import insert_yieldpoints
+from repro.metrics.wall import DEFAULT_THRESHOLD, hot_paths as _hot_path_set
+from repro.profiling.edges import EdgeProfile
+from repro.profiling.flow import profile_flows
+from repro.profiling.paths import PathProfile
+from repro.profiling.regenerate import PathResolver
+from repro.sampling.arnold_grove import ArnoldGroveSampler, SamplingConfig
+from repro.adaptive.optimizing import optimize_method
+from repro.vm.costs import CostModel
+from repro.vm.interpreter import CompiledMethod
+from repro.vm.runtime import RunResult, VirtualMachine
+
+
+class ProfileReport:
+    """Everything a PEP profiling run produced."""
+
+    def __init__(
+        self,
+        paths: PathProfile,
+        edges: EdgeProfile,
+        resolvers: Dict[str, PathResolver],
+        result: RunResult,
+        base_cycles: float,
+    ) -> None:
+        self.paths = paths
+        self.edges = edges
+        self.resolvers = resolvers
+        self.result = result
+        self.base_cycles = base_cycles
+
+    @property
+    def overhead(self) -> float:
+        """Fractional execution overhead vs the uninstrumented dry run."""
+        return self.result.cycles / self.base_cycles - 1.0
+
+    def flows(self) -> Dict[Tuple[str, int], float]:
+        """Branch-flow of every profiled path (freq x branch length)."""
+        return profile_flows(self.paths, self.resolvers)
+
+    def hot_paths(
+        self, threshold: float = DEFAULT_THRESHOLD
+    ) -> List[Tuple[Tuple[str, int], float]]:
+        """Hot paths by descending flow, Wall-style thresholding."""
+        flows = self.flows()
+        hot = _hot_path_set(flows, threshold)
+        ranked = sorted(
+            ((key, flows[key]) for key in hot), key=lambda item: -item[1]
+        )
+        return ranked
+
+    def path_blocks(self, method_key: str, path_number: int) -> List[str]:
+        """The block labels along one profiled path (for display)."""
+        resolver = self.resolvers[method_key]
+        from repro.profiling.regenerate import reconstruct_path
+
+        edges = reconstruct_path(resolver.dag, path_number)
+        labels = [edges[0].src] if edges else []
+        labels.extend(edge.dst for edge in edges)
+        return labels
+
+    def branch_biases(self) -> Dict[BranchRef, float]:
+        """Taken-bias of every profiled bytecode branch."""
+        return {branch: self.edges.bias(branch) for branch in self.edges.branches()}
+
+    def __repr__(self) -> str:
+        return (
+            f"<ProfileReport {self.paths.distinct_paths()} paths, "
+            f"{len(self.edges)} branches, {self.result.samples_taken} samples>"
+        )
+
+
+def _compile_all(
+    program: Program,
+    costs: CostModel,
+    instrumentation: Optional[str],
+    opt_level: int,
+) -> Dict[str, CompiledMethod]:
+    code: Dict[str, CompiledMethod] = {}
+    for method in program.iter_methods():
+        cm, _cycles = optimize_method(
+            method, program, opt_level, None, costs,
+            instrumentation=instrumentation,
+        )
+        code[method.name] = cm
+    return code
+
+
+def profile(
+    program: Program,
+    samples: int = 64,
+    stride: int = 17,
+    ticks: int = 200,
+    opt_level: int = 2,
+    perfect: bool = False,
+    costs: Optional[CostModel] = None,
+    fuel: int = 500_000_000,
+) -> ProfileReport:
+    """Profile ``program`` with PEP(samples, stride); see module docstring.
+
+    ``perfect=True`` uses full instrumentation-based path profiling
+    instead of sampling (section 5.1): exact profiles, much higher
+    overhead.
+    """
+    verify_program(program)
+    costs = costs if costs is not None else CostModel()
+
+    # Dry run: measure Base cycles to calibrate the timer (and overhead).
+    base_code = _compile_all(program, costs, None, opt_level)
+    base_vm = VirtualMachine(base_code, program.main, costs=costs)
+    base_result = base_vm.run(fuel=fuel)
+
+    mode = "full-path" if perfect else "pep"
+    code = _compile_all(program, costs, mode, opt_level)
+    if perfect:
+        vm = VirtualMachine(code, program.main, costs=costs)
+    else:
+        vm = VirtualMachine(
+            code,
+            program.main,
+            costs=costs,
+            tick_interval=max(base_result.cycles / ticks, 1.0),
+            sampler=ArnoldGroveSampler(SamplingConfig(samples, stride)),
+        )
+    result = vm.run(fuel=fuel)
+
+    resolvers = {
+        cm.profile_key: cm.resolver
+        for cm in code.values()
+        if cm.resolver is not None
+    }
+    return ProfileReport(
+        paths=vm.path_profile,
+        edges=_final_edges(vm, resolvers, perfect),
+        resolvers=resolvers,
+        result=result,
+        base_cycles=base_result.cycles,
+    )
+
+
+def _final_edges(vm, resolvers, perfect: bool) -> EdgeProfile:
+    if not perfect:
+        return vm.edge_profile
+    # Perfect mode records paths via count[r]++; derive the edge profile
+    # offline, as the paper does for ground truth (section 5.1).
+    edges = EdgeProfile()
+    for key, path_number, freq in vm.path_profile.items():
+        resolver = resolvers.get(key)
+        if resolver is None:
+            continue
+        for branch, taken in resolver.branch_events(path_number):
+            edges.record(branch, taken, freq)
+    return edges

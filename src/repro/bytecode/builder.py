@@ -1,0 +1,463 @@
+"""Structured construction of guest bytecode.
+
+:class:`ProgramBuilder` / :class:`FunctionBuilder` provide ``if_``,
+``while_``, ``for_range`` and ``switch_`` combinators that lower to basic
+blocks with reducible control flow — the shape Ball-Larus truncation and
+yieldpoint placement assume.  Workloads and tests use this instead of
+hand-writing blocks.
+
+Example::
+
+    pb = ProgramBuilder("demo")
+    f = pb.function("main")
+    total = f.local(0)
+    f.for_range(0, 10, 1, lambda i: f.assign(total, total + i))
+    f.emit(total)
+    f.ret()
+    program = pb.build()
+
+Control-flow combinators take *callables* for conditions and bodies because
+the builder must emit the condition's instructions into the loop header
+block on each structural visit, not at Python evaluation time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.bytecode.instructions import (
+    ALen,
+    ALoad,
+    AStore,
+    BinOp,
+    BinOpImm,
+    Br,
+    Call,
+    Const,
+    Emit,
+    Jmp,
+    Move,
+    NewArr,
+    Ret,
+    Unary,
+)
+from repro.bytecode.method import BasicBlock, Method, Program
+from repro.errors import BytecodeError
+
+Operand = Union["Value", int]
+
+
+class Value:
+    """A register-backed value with arithmetic/comparison overloading.
+
+    Arithmetic operators emit instructions into the builder's current block
+    immediately and return a fresh Value.  Comparison operators build a
+    :class:`Cmp` descriptor consumed by ``if_``/``while_`` (branches compare
+    directly; no materialised boolean) — use :meth:`FunctionBuilder.bool` to
+    turn a comparison into a 0/1 value.
+    """
+
+    __slots__ = ("fb", "reg")
+
+    def __init__(self, fb: "FunctionBuilder", reg: int) -> None:
+        self.fb = fb
+        self.reg = reg
+
+    # arithmetic ----------------------------------------------------------
+    def __add__(self, other: Operand) -> "Value":
+        return self.fb._binop("add", self, other)
+
+    def __radd__(self, other: Operand) -> "Value":
+        return self.fb._binop("add", self, other)
+
+    def __sub__(self, other: Operand) -> "Value":
+        return self.fb._binop("sub", self, other)
+
+    def __rsub__(self, other: Operand) -> "Value":
+        return self.fb._binop_rev("sub", other, self)
+
+    def __mul__(self, other: Operand) -> "Value":
+        return self.fb._binop("mul", self, other)
+
+    def __rmul__(self, other: Operand) -> "Value":
+        return self.fb._binop("mul", self, other)
+
+    def __floordiv__(self, other: Operand) -> "Value":
+        return self.fb._binop("div", self, other)
+
+    def __mod__(self, other: Operand) -> "Value":
+        return self.fb._binop("mod", self, other)
+
+    def __and__(self, other: Operand) -> "Value":
+        return self.fb._binop("and", self, other)
+
+    def __or__(self, other: Operand) -> "Value":
+        return self.fb._binop("or", self, other)
+
+    def __xor__(self, other: Operand) -> "Value":
+        return self.fb._binop("xor", self, other)
+
+    def __lshift__(self, other: Operand) -> "Value":
+        return self.fb._binop("shl", self, other)
+
+    def __rshift__(self, other: Operand) -> "Value":
+        return self.fb._binop("shr", self, other)
+
+    def __neg__(self) -> "Value":
+        return self.fb._unary("neg", self)
+
+    # comparisons ---------------------------------------------------------
+    def __lt__(self, other: Operand) -> "Cmp":
+        return Cmp("lt", self, other)
+
+    def __le__(self, other: Operand) -> "Cmp":
+        return Cmp("le", self, other)
+
+    def __gt__(self, other: Operand) -> "Cmp":
+        return Cmp("gt", self, other)
+
+    def __ge__(self, other: Operand) -> "Cmp":
+        return Cmp("ge", self, other)
+
+    def eq(self, other: Operand) -> "Cmp":
+        return Cmp("eq", self, other)
+
+    def ne(self, other: Operand) -> "Cmp":
+        return Cmp("ne", self, other)
+
+    def __repr__(self) -> str:
+        return f"Value(r{self.reg})"
+
+
+class Cmp:
+    """An unevaluated comparison: (kind, lhs, rhs)."""
+
+    __slots__ = ("kind", "lhs", "rhs")
+
+    def __init__(self, kind: str, lhs: Operand, rhs: Operand) -> None:
+        self.kind = kind
+        self.lhs = lhs
+        self.rhs = rhs
+
+
+Condition = Union[Cmp, Value, Callable[[], Union[Cmp, Value]]]
+
+
+class FunctionBuilder:
+    """Builds one method; obtained from :meth:`ProgramBuilder.function`."""
+
+    def __init__(
+        self,
+        program_builder: "ProgramBuilder",
+        name: str,
+        params: Sequence[str] = (),
+        uninterruptible: bool = False,
+    ) -> None:
+        self._pb = program_builder
+        self.method = Method(
+            name,
+            num_params=len(params),
+            num_regs=len(params),
+            uninterruptible=uninterruptible,
+        )
+        self._param_values = {
+            pname: Value(self, index) for index, pname in enumerate(params)
+        }
+        self._label_counter = 0
+        self._current = self.method.new_block(self._fresh_label("entry"))
+        self._loop_stack: List[Tuple[str, str]] = []  # (continue, break) labels
+        self._finished = False
+
+    # -- registers and parameters -----------------------------------------
+
+    def p(self, name: str) -> Value:
+        """The Value bound to a named parameter."""
+        try:
+            return self._param_values[name]
+        except KeyError:
+            raise BytecodeError(
+                f"method {self.method.name!r} has no parameter {name!r}"
+            ) from None
+
+    def local(self, init: Operand = 0) -> Value:
+        """Allocate a register and initialise it."""
+        value = Value(self, self.method.alloc_reg())
+        self.assign(value, init)
+        return value
+
+    def const(self, literal: int) -> Value:
+        """Materialise an integer constant in a fresh register."""
+        value = Value(self, self.method.alloc_reg())
+        self._emit(Const(value.reg, literal))
+        return value
+
+    # -- straight-line statements -------------------------------------------
+
+    def assign(self, dest: Value, src: Operand) -> None:
+        """dest <- src (constant or another value)."""
+        if isinstance(src, Value):
+            if src.reg != dest.reg:
+                self._emit(Move(dest.reg, src.reg))
+        else:
+            self._emit(Const(dest.reg, int(src)))
+
+    def bool(self, cmp: Cmp) -> Value:
+        """Materialise a comparison as a 0/1 value."""
+        lhs = self._as_value(cmp.lhs)
+        dest = Value(self, self.method.alloc_reg())
+        if isinstance(cmp.rhs, Value):
+            self._emit(BinOp(cmp.kind, dest.reg, lhs.reg, cmp.rhs.reg))
+        else:
+            self._emit(BinOpImm(cmp.kind, dest.reg, lhs.reg, int(cmp.rhs)))
+        return dest
+
+    def emit(self, src: Operand) -> None:
+        """Append a value to the program's observable output."""
+        self._emit(Emit(self._as_value(src).reg))
+
+    def call(self, callee: str, *args: Operand) -> Value:
+        """Call a method and capture its return value."""
+        dest = Value(self, self.method.alloc_reg())
+        regs = [self._as_value(a).reg for a in args]
+        self._emit(Call(dest.reg, callee, regs))
+        return dest
+
+    def call_void(self, callee: str, *args: Operand) -> None:
+        """Call a method, discarding its return value."""
+        regs = [self._as_value(a).reg for a in args]
+        self._emit(Call(None, callee, regs))
+
+    def ret(self, src: Optional[Operand] = None) -> None:
+        """Return from the method."""
+        if src is None:
+            self._terminate(Ret(None))
+        else:
+            self._terminate(Ret(self._as_value(src).reg))
+
+    # -- arrays -------------------------------------------------------------
+
+    def array(self, size: Operand) -> Value:
+        dest = Value(self, self.method.alloc_reg())
+        self._emit(NewArr(dest.reg, self._as_value(size).reg))
+        return dest
+
+    def load(self, arr: Value, idx: Operand) -> Value:
+        dest = Value(self, self.method.alloc_reg())
+        self._emit(ALoad(dest.reg, arr.reg, self._as_value(idx).reg))
+        return dest
+
+    def store(self, arr: Value, idx: Operand, src: Operand) -> None:
+        self._emit(
+            AStore(arr.reg, self._as_value(idx).reg, self._as_value(src).reg)
+        )
+
+    def length(self, arr: Value) -> Value:
+        dest = Value(self, self.method.alloc_reg())
+        self._emit(ALen(dest.reg, arr.reg))
+        return dest
+
+    # -- control flow -------------------------------------------------------
+
+    def if_(
+        self,
+        cond: Condition,
+        then: Callable[[], None],
+        orelse: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Emit an if/else: ``then`` and ``orelse`` are body callbacks."""
+        then_label = self._fresh_label("then")
+        after_label = self._fresh_label("endif")
+        else_label = self._fresh_label("else") if orelse else after_label
+        self._branch_on(cond, then_label, else_label)
+
+        self._open_block(then_label)
+        then()
+        self._jump_if_open(after_label)
+
+        if orelse is not None:
+            self._open_block(else_label)
+            orelse()
+            self._jump_if_open(after_label)
+
+        self._open_block(after_label)
+
+    def while_(self, cond: Condition, body: Callable[[], None]) -> None:
+        """Emit a while loop with the condition tested at the header."""
+        header = self._fresh_label("head")
+        body_label = self._fresh_label("body")
+        after = self._fresh_label("endloop")
+        self._jump_if_open(header)
+
+        self._open_block(header)
+        self._branch_on(cond, body_label, after)
+
+        self._loop_stack.append((header, after))
+        self._open_block(body_label)
+        body()
+        self._jump_if_open(header)
+        self._loop_stack.pop()
+
+        self._open_block(after)
+
+    def for_range(
+        self,
+        start: Operand,
+        stop: Operand,
+        step: int,
+        body: Callable[[Value], None],
+    ) -> None:
+        """Counted loop; the body receives the induction variable."""
+        if step == 0:
+            raise BytecodeError("for_range step must be non-zero")
+        induction = self.local(start)
+        # Hoist the bound into a register once, like real compiled code.
+        bound = self._as_value(stop)
+        cmp_kind = "lt" if step > 0 else "gt"
+
+        def loop_body() -> None:
+            body(induction)
+            self.assign(induction, induction + step)
+
+        self.while_(Cmp(cmp_kind, induction, bound), loop_body)
+
+    def do_while_(self, body: Callable[[], None], cond: Condition) -> None:
+        """Bottom-tested loop: body executes at least once."""
+        body_label = self._fresh_label("dobody")
+        after = self._fresh_label("enddo")
+        self._jump_if_open(body_label)
+        self._loop_stack.append((body_label, after))
+        self._open_block(body_label)
+        body()
+        self._branch_on(cond, body_label, after)
+        self._loop_stack.pop()
+        self._open_block(after)
+
+    def switch_(
+        self,
+        selector: Value,
+        cases: Dict[int, Callable[[], None]],
+        default: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Dispatch on an integer via a chain of equality branches."""
+        after = self._fresh_label("endsw")
+        for key, case_body in cases.items():
+            case_label = self._fresh_label(f"case{key}")
+            next_label = self._fresh_label("swnext")
+            self._branch_on(selector.eq(key), case_label, next_label)
+            self._open_block(case_label)
+            case_body()
+            self._jump_if_open(after)
+            self._open_block(next_label)
+        if default is not None:
+            default()
+        self._jump_if_open(after)
+        self._open_block(after)
+
+    def break_(self) -> None:
+        if not self._loop_stack:
+            raise BytecodeError("break_ outside a loop")
+        self._terminate(Jmp(self._loop_stack[-1][1]))
+
+    def continue_(self) -> None:
+        if not self._loop_stack:
+            raise BytecodeError("continue_ outside a loop")
+        self._terminate(Jmp(self._loop_stack[-1][0]))
+
+    # -- finishing -----------------------------------------------------------
+
+    def finish(self) -> Method:
+        """Terminate any open block, prune dead blocks, return the method."""
+        if self._finished:
+            return self.method
+        if self._current.terminator is None:
+            self._current.terminator = Ret(None)
+        self.method.remove_unreachable_blocks()
+        self._finished = True
+        return self.method
+
+    # -- internals -----------------------------------------------------------
+
+    def _fresh_label(self, hint: str) -> str:
+        label = f"b{self._label_counter}_{hint}"
+        self._label_counter += 1
+        return label
+
+    def _emit(self, instr) -> None:
+        if self._current.terminator is not None:
+            # Code after break/continue/ret: emit into an unreachable block
+            # that finish() will prune, matching how real front ends tolerate
+            # trailing dead statements.
+            self._open_block(self._fresh_label("dead"))
+        self._current.instrs.append(instr)
+
+    def _terminate(self, terminator) -> None:
+        if self._current.terminator is not None:
+            self._open_block(self._fresh_label("dead"))
+        self._current.terminator = terminator
+
+    def _open_block(self, label: str) -> None:
+        self._current = self.method.new_block(label)
+
+    def _jump_if_open(self, label: str) -> None:
+        if self._current.terminator is None:
+            self._current.terminator = Jmp(label)
+
+    def _branch_on(self, cond: Condition, then_label: str, else_label: str) -> None:
+        if callable(cond) and not isinstance(cond, (Cmp, Value)):
+            cond = cond()
+        if isinstance(cond, Value):
+            cond = cond.ne(0)
+        if not isinstance(cond, Cmp):
+            raise BytecodeError(f"cannot branch on {cond!r}")
+        lhs = self._as_value(cond.lhs)
+        rhs = self._as_value(cond.rhs)
+        self._terminate(Br(cond.kind, lhs.reg, rhs.reg, then_label, else_label))
+
+    def _as_value(self, operand: Operand) -> Value:
+        if isinstance(operand, Value):
+            return operand
+        return self.const(int(operand))
+
+    def _binop(self, kind: str, lhs: Value, rhs: Operand) -> Value:
+        dest = Value(self, self.method.alloc_reg())
+        if isinstance(rhs, Value):
+            self._emit(BinOp(kind, dest.reg, lhs.reg, rhs.reg))
+        else:
+            self._emit(BinOpImm(kind, dest.reg, lhs.reg, int(rhs)))
+        return dest
+
+    def _binop_rev(self, kind: str, lhs: Operand, rhs: Value) -> Value:
+        lhs_value = self._as_value(lhs)
+        dest = Value(self, self.method.alloc_reg())
+        self._emit(BinOp(kind, dest.reg, lhs_value.reg, rhs.reg))
+        return dest
+
+    def _unary(self, kind: str, src: Value) -> Value:
+        dest = Value(self, self.method.alloc_reg())
+        self._emit(Unary(kind, dest.reg, src.reg))
+        return dest
+
+
+class ProgramBuilder:
+    """Builds a :class:`Program` out of FunctionBuilders."""
+
+    def __init__(self, name: str = "program", main: str = "main") -> None:
+        self._program = Program(name, main)
+        self._builders: List[FunctionBuilder] = []
+
+    def function(
+        self,
+        name: str,
+        params: Sequence[str] = (),
+        uninterruptible: bool = False,
+    ) -> FunctionBuilder:
+        fb = FunctionBuilder(self, name, params, uninterruptible=uninterruptible)
+        self._builders.append(fb)
+        return fb
+
+    def build(self) -> Program:
+        """Finish all functions, seal branch ids, and return the program."""
+        for fb in self._builders:
+            self._program.add(fb.finish())
+        self._builders = []
+        return self._program.seal()

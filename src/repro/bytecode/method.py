@@ -1,0 +1,308 @@
+"""Methods, basic blocks, and programs.
+
+A :class:`Method` is a list of labelled basic blocks, each with a body of
+ordinary instructions and exactly one terminator.  Sealing a method assigns
+every conditional branch a stable *bytecode branch id* — the key that edge
+profiles are indexed by, surviving inlining and block cloning exactly as
+Jikes RVM maps IR branches back to bytecode branches (paper section 4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.bytecode.instructions import Br, Instr, Jmp, Ret, Terminator
+from repro.errors import BytecodeError
+
+
+class BranchRef:
+    """Identity of a bytecode-level conditional branch.
+
+    Immutable and hashable: edge profiles are dictionaries keyed by
+    BranchRef.  Multiple IR branches may share one BranchRef after inlining
+    or unrolling; their dynamic counts then accumulate into the same
+    taken/not-taken counters, as in the paper.
+    """
+
+    __slots__ = ("method", "index")
+
+    def __init__(self, method: str, index: int) -> None:
+        self.method = method
+        self.index = index
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, BranchRef)
+            and self.method == other.method
+            and self.index == other.index
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.method, self.index))
+
+    def __repr__(self) -> str:
+        return f"{self.method}#b{self.index}"
+
+    def __lt__(self, other: "BranchRef") -> bool:
+        return (self.method, self.index) < (other.method, other.index)
+
+
+class BasicBlock:
+    """A labelled straight-line instruction sequence plus one terminator."""
+
+    __slots__ = ("label", "instrs", "terminator")
+
+    def __init__(
+        self,
+        label: str,
+        instrs: Optional[List[Instr]] = None,
+        terminator: Optional[Terminator] = None,
+    ) -> None:
+        self.label = label
+        self.instrs: List[Instr] = list(instrs) if instrs else []
+        self.terminator: Optional[Terminator] = terminator
+
+    def append(self, instr: Instr) -> None:
+        self.instrs.append(instr)
+
+    def successors(self) -> Tuple[str, ...]:
+        if self.terminator is None:
+            raise BytecodeError(f"block {self.label!r} has no terminator")
+        return self.terminator.targets()
+
+    def clone(self, new_label: Optional[str] = None) -> "BasicBlock":
+        term = self.terminator.clone() if self.terminator is not None else None
+        return BasicBlock(
+            new_label or self.label,
+            [instr.clone() for instr in self.instrs],
+            term,
+        )
+
+    def __repr__(self) -> str:
+        return f"<BasicBlock {self.label} ({len(self.instrs)} instrs)>"
+
+
+class Method:
+    """A guest method: parameters, registers, and a block list.
+
+    ``uninterruptible`` mirrors Jikes RVM's internal methods: the optimizing
+    compiler will not insert loop-header yieldpoints into them, so PEP loses
+    paths ending at their headers (paper section 4.3).
+    """
+
+    __slots__ = (
+        "name",
+        "num_params",
+        "num_regs",
+        "blocks",
+        "entry",
+        "uninterruptible",
+        "no_yield_labels",
+        "_sealed",
+        "_branch_count",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        num_params: int = 0,
+        num_regs: int = 0,
+        uninterruptible: bool = False,
+    ) -> None:
+        if num_params < 0 or num_regs < num_params:
+            raise BytecodeError(
+                f"method {name!r}: need num_regs >= num_params >= 0 "
+                f"(got {num_regs} regs, {num_params} params)"
+            )
+        self.name = name
+        self.num_params = num_params
+        self.num_regs = num_regs
+        self.blocks: Dict[str, BasicBlock] = {}
+        self.entry: Optional[str] = None
+        self.uninterruptible = uninterruptible
+        # Blocks inlined from uninterruptible callees: the yieldpoint pass
+        # must not place header yieldpoints in them (paper section 4.3).
+        self.no_yield_labels: set = set()
+        self._sealed = False
+        self._branch_count = 0
+
+    # -- construction ------------------------------------------------------
+
+    def add_block(self, block: BasicBlock) -> BasicBlock:
+        if block.label in self.blocks:
+            raise BytecodeError(f"duplicate block label {block.label!r}")
+        self.blocks[block.label] = block
+        if self.entry is None:
+            self.entry = block.label
+        return block
+
+    def new_block(self, label: str) -> BasicBlock:
+        return self.add_block(BasicBlock(label))
+
+    def alloc_reg(self) -> int:
+        reg = self.num_regs
+        self.num_regs += 1
+        return reg
+
+    def seal(self) -> "Method":
+        """Assign bytecode branch ids and freeze the branch numbering.
+
+        Branch ids are assigned in block-insertion order so they are stable
+        across clones of the same source program.  Sealing is idempotent for
+        branches that already carry an origin (e.g. after optimizer cloning).
+        """
+        index = 0
+        for block in self.blocks.values():
+            term = block.terminator
+            if isinstance(term, Br):
+                if term.origin is None:
+                    term.origin = BranchRef(self.name, index)
+                index += 1
+        self._branch_count = index
+        self._sealed = True
+        return self
+
+    @property
+    def sealed(self) -> bool:
+        return self._sealed
+
+    @property
+    def branch_count(self) -> int:
+        return self._branch_count
+
+    # -- inspection --------------------------------------------------------
+
+    def block(self, label: str) -> BasicBlock:
+        try:
+            return self.blocks[label]
+        except KeyError:
+            raise BytecodeError(f"method {self.name!r}: no block {label!r}") from None
+
+    def entry_block(self) -> BasicBlock:
+        if self.entry is None:
+            raise BytecodeError(f"method {self.name!r} has no blocks")
+        return self.blocks[self.entry]
+
+    def iter_blocks(self) -> Iterator[BasicBlock]:
+        return iter(self.blocks.values())
+
+    def iter_branches(self) -> Iterator[Tuple[BasicBlock, Br]]:
+        for block in self.blocks.values():
+            if isinstance(block.terminator, Br):
+                yield block, block.terminator
+
+    def branch_refs(self) -> List[BranchRef]:
+        """Distinct bytecode branch ids referenced by this method's IR."""
+        seen = []
+        seen_set = set()
+        for _, term in self.iter_branches():
+            if term.origin is not None and term.origin not in seen_set:
+                seen_set.add(term.origin)
+                seen.append(term.origin)
+        return seen
+
+    def instruction_count(self) -> int:
+        """Static size: body instructions plus one per terminator."""
+        return sum(len(b.instrs) + 1 for b in self.blocks.values())
+
+    def predecessors(self) -> Dict[str, List[str]]:
+        preds: Dict[str, List[str]] = {label: [] for label in self.blocks}
+        for block in self.blocks.values():
+            for target in block.successors():
+                if target not in preds:
+                    raise BytecodeError(
+                        f"method {self.name!r}: block {block.label!r} targets "
+                        f"unknown label {target!r}"
+                    )
+                preds[target].append(block.label)
+        return preds
+
+    def exit_labels(self) -> List[str]:
+        return [
+            block.label
+            for block in self.blocks.values()
+            if isinstance(block.terminator, Ret)
+        ]
+
+    # -- transformation support -------------------------------------------
+
+    def clone(self, new_name: Optional[str] = None) -> "Method":
+        other = Method(
+            new_name or self.name,
+            self.num_params,
+            self.num_regs,
+            uninterruptible=self.uninterruptible,
+        )
+        for label, block in self.blocks.items():
+            other.add_block(block.clone())
+        other.entry = self.entry
+        other.no_yield_labels = set(self.no_yield_labels)
+        other._sealed = self._sealed
+        other._branch_count = self._branch_count
+        return other
+
+    def remove_unreachable_blocks(self) -> List[str]:
+        """Drop blocks unreachable from entry; returns removed labels."""
+        if self.entry is None:
+            return []
+        reachable = set()
+        stack = [self.entry]
+        while stack:
+            label = stack.pop()
+            if label in reachable:
+                continue
+            reachable.add(label)
+            stack.extend(self.blocks[label].successors())
+        removed = [label for label in self.blocks if label not in reachable]
+        for label in removed:
+            del self.blocks[label]
+        return removed
+
+    def __repr__(self) -> str:
+        return f"<Method {self.name} ({len(self.blocks)} blocks)>"
+
+
+class Program:
+    """A set of methods plus the designated entry method ("main")."""
+
+    __slots__ = ("methods", "main", "name")
+
+    def __init__(self, name: str = "program", main: str = "main") -> None:
+        self.name = name
+        self.methods: Dict[str, Method] = {}
+        self.main = main
+
+    def add(self, method: Method) -> Method:
+        if method.name in self.methods:
+            raise BytecodeError(f"duplicate method {method.name!r}")
+        self.methods[method.name] = method
+        return method
+
+    def method(self, name: str) -> Method:
+        try:
+            return self.methods[name]
+        except KeyError:
+            raise BytecodeError(f"program has no method {name!r}") from None
+
+    def main_method(self) -> Method:
+        return self.method(self.main)
+
+    def iter_methods(self) -> Iterable[Method]:
+        return self.methods.values()
+
+    def seal(self) -> "Program":
+        for method in self.methods.values():
+            method.seal()
+        return self
+
+    def clone(self) -> "Program":
+        other = Program(self.name, self.main)
+        for method in self.methods.values():
+            other.add(method.clone())
+        return other
+
+    def instruction_count(self) -> int:
+        return sum(m.instruction_count() for m in self.methods.values())
+
+    def __repr__(self) -> str:
+        return f"<Program {self.name} ({len(self.methods)} methods)>"

@@ -1,0 +1,107 @@
+"""Bytecode verifier.
+
+Checks the structural invariants the rest of the library assumes:
+
+* every block has exactly one terminator and all branch targets exist;
+* register indices are within the method's declared register file;
+* the entry block exists and every method has at least one ``ret``;
+* instrumentation instructions appear only when explicitly allowed
+  (user-authored programs must be instrumentation-free; compiled code is
+  re-verified with ``allow_instrumentation=True``);
+* call targets resolve when a :class:`~repro.bytecode.method.Program` is
+  verified as a whole.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bytecode.instructions import (
+    Br,
+    Ret,
+    defined_register,
+    is_instrumentation,
+    used_registers,
+)
+from repro.bytecode.method import Method, Program
+from repro.errors import VerificationError
+
+
+def verify_method(
+    method: Method,
+    program: Optional[Program] = None,
+    allow_instrumentation: bool = False,
+) -> None:
+    """Raise :class:`VerificationError` if ``method`` is malformed."""
+    if not method.blocks:
+        raise VerificationError(f"{method.name}: method has no blocks")
+    if method.entry not in method.blocks:
+        raise VerificationError(
+            f"{method.name}: entry label {method.entry!r} does not exist"
+        )
+
+    saw_ret = False
+    for block in method.iter_blocks():
+        term = block.terminator
+        where = f"{method.name}:{block.label}"
+        if term is None:
+            raise VerificationError(f"{where}: block lacks a terminator")
+        for target in term.targets():
+            if target not in method.blocks:
+                raise VerificationError(
+                    f"{where}: branch target {target!r} does not exist"
+                )
+        if isinstance(term, Ret):
+            saw_ret = True
+            if term.src is not None:
+                _check_reg(method, term.src, where)
+        if isinstance(term, Br):
+            _check_reg(method, term.a, where)
+            _check_reg(method, term.b, where)
+            if term.then_label == term.else_label:
+                raise VerificationError(
+                    f"{where}: degenerate branch with equal targets"
+                )
+
+        for instr in block.instrs:
+            if is_instrumentation(instr) and not allow_instrumentation:
+                raise VerificationError(
+                    f"{where}: instrumentation op {instr.op!r} in "
+                    "user-authored code"
+                )
+            dst = defined_register(instr)
+            if dst is not None:
+                _check_reg(method, dst, where)
+            for reg in used_registers(instr):
+                _check_reg(method, reg, where)
+            if instr.op == "call" and program is not None:
+                if instr.callee not in program.methods:  # type: ignore[attr-defined]
+                    raise VerificationError(
+                        f"{where}: call to unknown method "
+                        f"{instr.callee!r}"  # type: ignore[attr-defined]
+                    )
+
+    if not saw_ret:
+        raise VerificationError(f"{method.name}: method never returns")
+
+
+def verify_program(program: Program, allow_instrumentation: bool = False) -> None:
+    """Verify every method and the program's entry point."""
+    if program.main not in program.methods:
+        raise VerificationError(
+            f"program {program.name!r}: missing main method {program.main!r}"
+        )
+    if program.main_method().num_params != 0:
+        raise VerificationError(
+            f"program {program.name!r}: main must take no parameters"
+        )
+    for method in program.iter_methods():
+        verify_method(method, program, allow_instrumentation=allow_instrumentation)
+
+
+def _check_reg(method: Method, reg: int, where: str) -> None:
+    if not isinstance(reg, int) or reg < 0 or reg >= method.num_regs:
+        raise VerificationError(
+            f"{where}: register r{reg} out of range "
+            f"(method declares {method.num_regs})"
+        )

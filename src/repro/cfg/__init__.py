@@ -1,0 +1,35 @@
+"""Control-flow analysis: CFGs, dominators, loops, and the P-DAG.
+
+This package contains the compiler-analysis substrate PEP builds on:
+
+* :mod:`repro.cfg.graph` — label-level CFG extracted from a method;
+* :mod:`repro.cfg.dominators` — iterative dominator computation;
+* :mod:`repro.cfg.loops` — back edges, natural loops, reducibility;
+* :mod:`repro.cfg.dag` — the acyclic path-numbering graphs: the *P-DAG*
+  (paths end at loop headers, paper figure 3) and the classic Ball-Larus
+  DAG (paths end at back edges, paper figure 1).
+"""
+
+from repro.cfg.graph import CFG
+from repro.cfg.dominators import DominatorTree, compute_dominators
+from repro.cfg.loops import LoopInfo, analyze_loops
+from repro.cfg.dag import (
+    EXIT_NODE,
+    DagEdge,
+    PDag,
+    build_classic_dag,
+    build_pep_dag,
+)
+
+__all__ = [
+    "CFG",
+    "DominatorTree",
+    "compute_dominators",
+    "LoopInfo",
+    "analyze_loops",
+    "EXIT_NODE",
+    "DagEdge",
+    "PDag",
+    "build_classic_dag",
+    "build_pep_dag",
+]

@@ -1,0 +1,100 @@
+"""Dominator computation (Cooper-Harvey-Kennedy iterative algorithm).
+
+Loop detection needs dominators: an edge u -> v is a *back edge* exactly
+when v dominates u, and only then is v a natural-loop header — the block
+the optimizing compiler puts a yieldpoint on and PEP ends paths at.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cfg.graph import CFG
+
+
+class DominatorTree:
+    """Immediate-dominator map plus O(depth) dominance queries."""
+
+    __slots__ = ("idom", "_depth", "entry")
+
+    def __init__(self, entry: str, idom: Dict[str, Optional[str]]) -> None:
+        self.entry = entry
+        self.idom = idom
+        self._depth: Dict[str, int] = {entry: 0}
+        # Depths are well-defined because idom links always lead to entry.
+        for label in idom:
+            self._depth_of(label)
+
+    def _depth_of(self, label: str) -> int:
+        depth = self._depth.get(label)
+        if depth is not None:
+            return depth
+        chain: List[str] = []
+        node = label
+        while node not in self._depth:
+            chain.append(node)
+            parent = self.idom[node]
+            assert parent is not None, "non-entry node must have an idom"
+            node = parent
+        depth = self._depth[node]
+        for item in reversed(chain):
+            depth += 1
+            self._depth[item] = depth
+        return self._depth[label]
+
+    def dominates(self, a: str, b: str) -> bool:
+        """True iff ``a`` dominates ``b`` (reflexively)."""
+        node: Optional[str] = b
+        while node is not None and self._depth[node] >= self._depth[a]:
+            if node == a:
+                return True
+            node = self.idom[node]
+        return False
+
+    def strictly_dominates(self, a: str, b: str) -> bool:
+        return a != b and self.dominates(a, b)
+
+    def dominators_of(self, label: str) -> List[str]:
+        """All dominators of ``label``, innermost first."""
+        out = [label]
+        node = self.idom[label]
+        while node is not None:
+            out.append(node)
+            node = self.idom[node]
+        return out
+
+
+def compute_dominators(cfg: CFG) -> DominatorTree:
+    """Compute the dominator tree of a CFG rooted at its entry."""
+    rpo = cfg.reverse_postorder()
+    index = {label: i for i, label in enumerate(rpo)}
+    idom: Dict[str, Optional[str]] = {label: None for label in rpo}
+    idom[cfg.entry] = cfg.entry
+
+    def intersect(a: str, b: str) -> str:
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]  # type: ignore[assignment]
+            while index[b] > index[a]:
+                b = idom[b]  # type: ignore[assignment]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for label in rpo:
+            if label == cfg.entry:
+                continue
+            new_idom: Optional[str] = None
+            for pred in cfg.preds[label]:
+                if pred not in index:
+                    continue  # unreachable predecessor
+                if idom[pred] is None:
+                    continue
+                new_idom = pred if new_idom is None else intersect(pred, new_idom)
+            if new_idom is not None and idom[label] != new_idom:
+                idom[label] = new_idom
+                changed = True
+
+    idom[cfg.entry] = None
+    return DominatorTree(cfg.entry, idom)

@@ -1,0 +1,106 @@
+"""Label-level control-flow graph extracted from a method.
+
+The CFG is a read-only view over a :class:`~repro.bytecode.method.Method`:
+nodes are block labels, edges come from terminators.  Analyses (dominators,
+loops) and the DAG builders all consume this view rather than the method
+itself, so they stay decoupled from instruction details.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from repro.bytecode.method import Method
+from repro.errors import CFGError
+
+
+class CFG:
+    """Successor/predecessor maps over a method's reachable blocks."""
+
+    __slots__ = ("entry", "labels", "succs", "preds", "method_name")
+
+    def __init__(
+        self,
+        entry: str,
+        labels: List[str],
+        succs: Dict[str, Tuple[str, ...]],
+        method_name: str = "?",
+    ) -> None:
+        self.entry = entry
+        self.labels = labels
+        self.succs = succs
+        self.method_name = method_name
+        self.preds: Dict[str, List[str]] = {label: [] for label in labels}
+        for src, targets in succs.items():
+            for dst in targets:
+                if dst not in self.preds:
+                    raise CFGError(
+                        f"{method_name}: edge {src}->{dst} targets unknown block"
+                    )
+                self.preds[dst].append(src)
+
+    @classmethod
+    def from_method(cls, method: Method) -> "CFG":
+        """Build the CFG of ``method``'s reachable blocks."""
+        if method.entry is None:
+            raise CFGError(f"{method.name}: method has no blocks")
+        reachable: List[str] = []
+        seen = set()
+        stack = [method.entry]
+        while stack:
+            label = stack.pop()
+            if label in seen:
+                continue
+            seen.add(label)
+            reachable.append(label)
+            block = method.block(label)
+            for target in reversed(block.successors()):
+                if target not in seen:
+                    stack.append(target)
+        # Keep method block order for determinism, restricted to reachable.
+        ordered = [label for label in method.blocks if label in seen]
+        succs = {
+            label: method.block(label).successors() for label in ordered
+        }
+        return cls(method.entry, ordered, succs, method_name=method.name)
+
+    def edges(self) -> Iterator[Tuple[str, str]]:
+        for src in self.labels:
+            for dst in self.succs[src]:
+                yield src, dst
+
+    def edge_count(self) -> int:
+        return sum(len(self.succs[label]) for label in self.labels)
+
+    def reverse_postorder(self) -> List[str]:
+        """Reverse postorder from entry (the order dominator solvers want)."""
+        visited = set()
+        postorder: List[str] = []
+
+        # Iterative DFS with an explicit stack of (label, child-iterator).
+        stack: List[Tuple[str, Iterator[str]]] = []
+        visited.add(self.entry)
+        stack.append((self.entry, iter(self.succs[self.entry])))
+        while stack:
+            label, children = stack[-1]
+            advanced = False
+            for child in children:
+                if child not in visited:
+                    visited.add(child)
+                    stack.append((child, iter(self.succs[child])))
+                    advanced = True
+                    break
+            if not advanced:
+                postorder.append(label)
+                stack.pop()
+        postorder.reverse()
+        return postorder
+
+    def __contains__(self, label: str) -> bool:
+        return label in self.succs
+
+    def __repr__(self) -> str:
+        return (
+            f"<CFG {self.method_name}: {len(self.labels)} blocks, "
+            f"{self.edge_count()} edges>"
+        )

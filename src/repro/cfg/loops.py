@@ -1,0 +1,86 @@
+"""Natural-loop detection and reducibility checking.
+
+PEP needs the set of *loop headers*: the optimizing compiler inserts
+yieldpoints there, and PEP ends paths there (paper section 3.2).  Classic
+Ball-Larus needs the *back edges* themselves (section 3.1).  Both come out
+of the standard natural-loop analysis implemented here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.cfg.dominators import DominatorTree, compute_dominators
+from repro.cfg.graph import CFG
+from repro.errors import IrreducibleLoopError
+
+
+class LoopInfo:
+    """Back edges, headers, and per-header loop bodies of one CFG."""
+
+    __slots__ = ("back_edges", "headers", "bodies", "depths")
+
+    def __init__(
+        self,
+        back_edges: List[Tuple[str, str]],
+        bodies: Dict[str, Set[str]],
+        depths: Dict[str, int],
+    ) -> None:
+        self.back_edges = back_edges
+        self.headers: FrozenSet[str] = frozenset(dst for _, dst in back_edges)
+        self.bodies = bodies
+        self.depths = depths
+
+    def is_header(self, label: str) -> bool:
+        return label in self.headers
+
+    def loop_depth(self, label: str) -> int:
+        """Nesting depth of ``label`` (0 = not inside any loop)."""
+        return self.depths.get(label, 0)
+
+    def __repr__(self) -> str:
+        return f"<LoopInfo {len(self.headers)} headers>"
+
+
+def analyze_loops(cfg: CFG, dom: DominatorTree = None) -> LoopInfo:
+    """Find back edges and natural loops; reject irreducible flow.
+
+    An edge u -> v is *retreating* if v precedes u in reverse postorder and
+    a *back edge* if additionally v dominates u.  A retreating edge that is
+    not a back edge witnesses an irreducible loop, which Ball-Larus
+    truncation cannot handle; the structured builder never produces one, so
+    we raise :class:`IrreducibleLoopError` rather than silently mis-profile.
+    """
+    if dom is None:
+        dom = compute_dominators(cfg)
+    rpo_index = {label: i for i, label in enumerate(cfg.reverse_postorder())}
+
+    back_edges: List[Tuple[str, str]] = []
+    for src, dst in cfg.edges():
+        if rpo_index[dst] <= rpo_index[src]:  # retreating (includes self-loop)
+            if dom.dominates(dst, src):
+                back_edges.append((src, dst))
+            else:
+                raise IrreducibleLoopError(
+                    f"{cfg.method_name}: retreating edge {src}->{dst} whose "
+                    "target does not dominate its source (irreducible loop)"
+                )
+
+    bodies: Dict[str, Set[str]] = {}
+    for tail, header in back_edges:
+        body = bodies.setdefault(header, {header})
+        # Standard natural-loop body: walk predecessors back from the tail.
+        stack = [tail]
+        while stack:
+            label = stack.pop()
+            if label in body:
+                continue
+            body.add(label)
+            stack.extend(cfg.preds[label])
+
+    depths: Dict[str, int] = {}
+    for body in bodies.values():
+        for label in body:
+            depths[label] = depths.get(label, 0) + 1
+
+    return LoopInfo(back_edges, bodies, depths)

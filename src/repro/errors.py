@@ -1,0 +1,94 @@
+"""Exception hierarchy for the PEP reproduction library.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class BytecodeError(ReproError):
+    """Malformed bytecode: bad operands, dangling targets, bad registers."""
+
+
+class VerificationError(BytecodeError):
+    """A method failed the bytecode verifier."""
+
+
+class CFGError(ReproError):
+    """A control-flow-graph operation was applied to an unsuitable graph."""
+
+
+class IrreducibleLoopError(CFGError):
+    """The CFG contains a loop whose header does not dominate its body.
+
+    Ball-Larus truncation (and Jikes RVM's yieldpoint placement) assume
+    reducible control flow; the structured builder can only produce
+    reducible graphs, so this error indicates hand-built bytecode.
+    """
+
+
+class NumberingError(ReproError):
+    """Path numbering failed (cyclic P-DAG, missing edge values, ...)."""
+
+
+class PathReconstructionError(ReproError):
+    """A path number could not be mapped back to an edge sequence."""
+
+
+class InstrumentationError(ReproError):
+    """An instrumentation pass was misapplied."""
+
+
+class VMError(ReproError):
+    """Guest program failure: traps, stack overflow, fuel exhaustion."""
+
+
+class GuestTrapError(VMError):
+    """The guest program performed an illegal operation (e.g. div by 0)."""
+
+
+class FuelExhaustedError(VMError):
+    """The interpreter hit its instruction budget before the guest halted."""
+
+
+class CompilationError(ReproError):
+    """The baseline or optimizing compiler rejected a method."""
+
+
+class AdviceError(ReproError):
+    """Replay-compilation advice was missing or inconsistent."""
+
+
+class WorkloadError(ReproError):
+    """A synthetic workload was configured with invalid parameters."""
+
+
+class LangError(ReproError):
+    """Base class for mini-language front-end failures."""
+
+
+class LexError(LangError):
+    """The lexer met an unexpected character."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} at line {line}, column {column}")
+        self.line = line
+        self.column = column
+
+
+class ParseError(LangError):
+    """The parser met an unexpected token."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} at line {line}, column {column}")
+        self.line = line
+        self.column = column
+
+
+class CompileError(LangError):
+    """Semantic error while lowering the AST to bytecode."""

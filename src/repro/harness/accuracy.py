@@ -1,0 +1,122 @@
+"""Profile collection and accuracy evaluation for one workload.
+
+Implements the paper's comparison protocol:
+
+* the *perfect* path profile comes from instrumentation-based path
+  profiling (section 5.1); the *perfect* edge profile is derived from it
+  by expanding every recorded path (avoiding the uninterruptible-header
+  asymmetry, section 6.4);
+* PEP's estimated profiles come from a sampled run with the same advice
+  and therefore identical path numbering;
+* path accuracy is Wall weight-matching over branch-flow (section 6.3);
+  edge accuracy is relative or absolute overlap (section 6.4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.metrics.overlap import absolute_overlap, relative_overlap
+from repro.metrics.wall import path_profile_accuracy
+from repro.profiling.edges import EdgeProfile
+from repro.profiling.paths import PathProfile
+from repro.profiling.regenerate import PathResolver
+from repro.sampling.arnold_grove import SamplingConfig
+from repro.harness.experiment import ExperimentContext, run_config, RunConfig
+
+
+def derive_edge_profile(
+    paths: PathProfile,
+    resolvers: Dict[str, PathResolver],
+) -> EdgeProfile:
+    """Expand a path profile into taken/not-taken counts (section 3.3)."""
+    edges = EdgeProfile()
+    for key, path_number, freq in paths.items():
+        resolver = resolvers.get(key)
+        if resolver is None:
+            continue
+        for branch, taken in resolver.branch_events(path_number):
+            edges.record(branch, taken, freq)
+    return edges
+
+
+class PerfectProfiles:
+    """Ground truth for one workload: paths, derived edges, resolvers."""
+
+    __slots__ = ("paths", "edges", "resolvers", "direct_edges")
+
+    def __init__(
+        self,
+        paths: PathProfile,
+        edges: EdgeProfile,
+        resolvers: Dict[str, PathResolver],
+        direct_edges: EdgeProfile,
+    ) -> None:
+        self.paths = paths
+        self.edges = edges
+        self.resolvers = resolvers
+        self.direct_edges = direct_edges
+
+
+def collect_perfect_profiles(ctx: ExperimentContext) -> PerfectProfiles:
+    """Run the full-instrumentation configurations to get ground truth."""
+    image = ctx.image("full-path")
+    from repro.adaptive.replay import run_iteration_with_vm
+
+    vm, _ = run_iteration_with_vm(image)
+    resolvers = image.resolvers()
+    paths = vm.path_profile.copy()
+    edges = derive_edge_profile(paths, resolvers)
+
+    # Direct per-branch instrumentation, for the "compare to
+    # instrumentation-based edge profiling instead" footnote (section 6.4).
+    edge_image = ctx.image("edges")
+    vm2, _ = run_iteration_with_vm(edge_image)
+    direct = vm2.edge_profile.copy()
+    return PerfectProfiles(paths, edges, resolvers, direct)
+
+
+def collect_pep_profiles(
+    ctx: ExperimentContext,
+    sampling: SamplingConfig,
+) -> Tuple[PathProfile, EdgeProfile]:
+    """Run PEP under a sampling configuration; returns (paths, edges)."""
+    config = RunConfig(sampling.name, "pep", sampling)
+    vm, _ = run_config(ctx, config)
+    return vm.path_profile.copy(), vm.edge_profile.copy()
+
+
+def path_accuracy(
+    ctx: ExperimentContext,
+    sampling: SamplingConfig,
+    perfect: Optional[PerfectProfiles] = None,
+) -> float:
+    """Wall weight-matching accuracy of PEP(S,K) on this workload."""
+    if perfect is None:
+        perfect = collect_perfect_profiles(ctx)
+    estimated_paths, _ = collect_pep_profiles(ctx, sampling)
+    return path_profile_accuracy(
+        perfect.paths, estimated_paths, perfect.resolvers
+    )
+
+
+def edge_accuracy(
+    ctx: ExperimentContext,
+    sampling: SamplingConfig,
+    perfect: Optional[PerfectProfiles] = None,
+    absolute: bool = False,
+    against_direct: bool = False,
+) -> float:
+    """Edge-profile accuracy of PEP(S,K): relative or absolute overlap.
+
+    ``against_direct`` compares to instrumentation-based *edge* profiling
+    instead of path-derived edges — the comparison that loses ~2% in the
+    paper because uninterruptible headers drop a few paths.
+    """
+    if perfect is None:
+        perfect = collect_perfect_profiles(ctx)
+    _, estimated_edges = collect_pep_profiles(ctx, sampling)
+    actual = perfect.direct_edges if against_direct else perfect.edges
+    if absolute:
+        return absolute_overlap(actual, estimated_edges)
+    return relative_overlap(actual, estimated_edges)

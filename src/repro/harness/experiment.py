@@ -1,0 +1,207 @@
+"""Per-workload experiment preparation and the configuration space.
+
+``prepare`` reproduces the paper's methodology pipeline for one workload:
+
+1. build the guest program at the chosen scale;
+2. run the stock adaptive system once to record *advice* (section 5);
+3. replay-compile the Base image and measure its execution cycles
+   (iteration 2 semantics);
+4. calibrate the virtual timer so the run receives the workload's target
+   number of ticks — the scaled equivalent of "one tick per 20 ms".
+
+Contexts are cached per (workload, scale): every figure for a benchmark
+reuses the same advice and the same tick interval, exactly as the paper
+reuses one advice file across configurations.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Tuple
+
+from repro.bytecode.method import Program
+from repro.adaptive.replay import (
+    Advice,
+    ReplayImage,
+    record_advice,
+    replay_compile,
+    run_iteration_with_vm,
+)
+from repro.sampling.arnold_grove import SamplingConfig
+from repro.vm.costs import CostModel
+from repro.vm.runtime import RunResult, VirtualMachine
+from repro.workloads.suite import Workload
+
+BENCH_SCALE_ENV = "REPRO_BENCH_SCALE"
+_DEFAULT_BENCH_SCALE = 10.0
+
+# Cycles per workload at scale 1.0, used only to seed the advice run's
+# provisional tick interval (the final interval is calibrated from Base).
+_NOMINAL_CYCLES_AT_SCALE_1 = 200_000.0
+
+
+def default_scale() -> float:
+    """Benchmark scale, overridable via the REPRO_BENCH_SCALE env var."""
+    raw = os.environ.get(BENCH_SCALE_ENV)
+    if raw is None:
+        return _DEFAULT_BENCH_SCALE
+    value = float(raw)
+    if value <= 0:
+        raise ValueError(f"{BENCH_SCALE_ENV} must be positive, got {raw!r}")
+    return value
+
+
+class RunConfig:
+    """One bar of a figure: instrumentation mode + sampling configuration."""
+
+    __slots__ = ("name", "instrumentation", "sampling")
+
+    def __init__(
+        self,
+        name: str,
+        instrumentation: Optional[str],
+        sampling: Optional[SamplingConfig] = None,
+    ) -> None:
+        self.name = name
+        self.instrumentation = instrumentation
+        self.sampling = sampling
+
+    def __repr__(self) -> str:
+        return f"<RunConfig {self.name}>"
+
+
+def pep_config(samples: int, stride: int, simplified: bool = True) -> RunConfig:
+    """The paper's PEP(SAMPLES, STRIDE) configuration."""
+    config = SamplingConfig(samples, stride, simplified=simplified)
+    return RunConfig(config.name, "pep", config)
+
+
+BASE = RunConfig("Base", None)
+INSTR_ONLY = RunConfig("PEP instrumentation", "pep")
+PERFECT_PATH = RunConfig("Perfect path (instr)", "full-path")
+PERFECT_EDGE = RunConfig("Perfect edge (instr)", "edges")
+CLASSIC_BLPP = RunConfig("Classic BLPP", "classic-blpp")
+PEP_HOT = RunConfig("PEP hot placement", "pep-hot")
+PEP_NOSMART = RunConfig("PEP plain numbering", "pep-nosmart")
+
+
+class ExperimentContext:
+    """Everything needed to measure one workload under any configuration."""
+
+    __slots__ = (
+        "workload",
+        "scale",
+        "costs",
+        "program",
+        "advice",
+        "base_cycles",
+        "tick_interval",
+        "_images",
+    )
+
+    def __init__(
+        self,
+        workload: Workload,
+        scale: float,
+        costs: CostModel,
+        program: Program,
+        advice: Advice,
+        base_cycles: float,
+        tick_interval: float,
+    ) -> None:
+        self.workload = workload
+        self.scale = scale
+        self.costs = costs
+        self.program = program
+        self.advice = advice
+        self.base_cycles = base_cycles
+        self.tick_interval = tick_interval
+        self._images: Dict[Tuple, ReplayImage] = {}
+
+    def image(
+        self,
+        instrumentation: Optional[str],
+        profile_override=None,
+        cache: bool = True,
+    ) -> ReplayImage:
+        """Replay-compile (and cache) an image for one instrumentation mode."""
+        key = (instrumentation, id(profile_override))
+        if cache and key in self._images:
+            return self._images[key]
+        image = replay_compile(
+            self.program,
+            self.advice,
+            costs=self.costs,
+            instrumentation=instrumentation,
+            profile_override=profile_override,
+        )
+        if cache:
+            self._images[key] = image
+        return image
+
+
+_CONTEXT_CACHE: Dict[Tuple[str, float], ExperimentContext] = {}
+
+
+def prepare(
+    workload: Workload,
+    scale: Optional[float] = None,
+    costs: Optional[CostModel] = None,
+    use_cache: bool = True,
+) -> ExperimentContext:
+    """Build, record advice, measure Base, calibrate the timer."""
+    scale = scale if scale is not None else default_scale()
+    key = (workload.name, scale)
+    if use_cache and costs is None and key in _CONTEXT_CACHE:
+        return _CONTEXT_CACHE[key]
+    costs = costs if costs is not None else CostModel()
+
+    program = workload.build(scale)
+    provisional_tick = (
+        _NOMINAL_CYCLES_AT_SCALE_1 * scale / workload.ticks_target
+    )
+    advice = record_advice(program, tick_interval=provisional_tick, costs=costs)
+
+    base_image = replay_compile(program, advice, costs=costs)
+    _, base_result = run_iteration_with_vm(base_image)
+    base_cycles = base_result.cycles
+    tick_interval = base_cycles / workload.ticks_target
+
+    ctx = ExperimentContext(
+        workload, scale, costs, program, advice, base_cycles, tick_interval
+    )
+    ctx._images[(None, id(None))] = base_image
+    if use_cache and key not in _CONTEXT_CACHE:
+        _CONTEXT_CACHE[key] = ctx
+    return ctx
+
+
+def run_config(
+    ctx: ExperimentContext,
+    config: RunConfig,
+    include_compile_cycles: bool = False,
+    profile_override=None,
+) -> Tuple[VirtualMachine, RunResult]:
+    """Execute one configuration of a prepared workload.
+
+    Sampling configurations get the calibrated timer; non-sampling
+    configurations run untimed (no ticks), like the paper's second replay
+    iteration of Base and instrumentation-only runs.
+    """
+    # Sampled runs get a freshly compiled image so one configuration's
+    # path->edges expansion cache cannot subsidise another's handler costs.
+    cacheable = config.sampling is None and profile_override is None
+    image = ctx.image(
+        config.instrumentation,
+        profile_override=profile_override,
+        cache=cacheable,
+    )
+    tick = ctx.tick_interval if config.sampling is not None else None
+    from repro.adaptive.replay import run_iteration_with_vm as _run
+
+    return _run(
+        image,
+        tick_interval=tick,
+        sampling=config.sampling,
+        include_compile_cycles=include_compile_cycles,
+    )

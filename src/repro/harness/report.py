@@ -1,0 +1,67 @@
+"""Figure-shaped text rendering for the benches.
+
+Each bench prints a table whose rows are benchmarks and whose columns are
+configurations — the textual equivalent of the paper's bar charts — plus
+the average/max summary line the paper quotes in prose.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.util.stats import arithmetic_mean
+from repro.util.tables import AsciiTable, format_figure
+
+
+def render_overhead_figure(
+    title: str,
+    benchmarks: Sequence[str],
+    columns: Sequence[str],
+    normalized: Dict[str, Dict[str, float]],
+) -> str:
+    """Render normalized execution times: rows=benchmarks, cols=configs.
+
+    ``normalized[config][benchmark]`` is time(config)/time(Base).
+    """
+    table = AsciiTable(["benchmark"] + [f"{c}" for c in columns])
+    for bench in benchmarks:
+        row = [bench]
+        for config in columns:
+            row.append(f"{normalized[config][bench]:.4f}")
+        table.add_row(*row)
+
+    summary_rows: List[str] = []
+    for config in columns:
+        overheads = [normalized[config][b] - 1.0 for b in benchmarks]
+        avg = arithmetic_mean(overheads) * 100
+        worst = max(overheads) * 100
+        summary_rows.append(
+            f"{config}: avg {avg:+.2f}%  max {worst:+.2f}%"
+        )
+    body = table.render() + "\n\nsummary (overhead vs Base):\n  " + "\n  ".join(
+        summary_rows
+    )
+    return format_figure(title, body)
+
+
+def render_accuracy_figure(
+    title: str,
+    benchmarks: Sequence[str],
+    columns: Sequence[str],
+    accuracies: Dict[str, Dict[str, float]],
+    unit: str = "%",
+) -> str:
+    """Render accuracies: rows=benchmarks, cols=sampling configs."""
+    table = AsciiTable(["benchmark"] + list(columns))
+    for bench in benchmarks:
+        row = [bench]
+        for config in columns:
+            row.append(f"{accuracies[config][bench] * 100:.1f}")
+        table.add_row(*row)
+    summary = [
+        f"{config}: avg "
+        f"{arithmetic_mean([accuracies[config][b] for b in benchmarks]) * 100:.1f}{unit}"
+        for config in columns
+    ]
+    body = table.render() + "\n\naverages:\n  " + "\n  ".join(summary)
+    return format_figure(title, body)

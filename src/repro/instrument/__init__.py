@@ -1,0 +1,35 @@
+"""Instrumentation passes.
+
+* :mod:`repro.instrument.structure` — CFG surgery shared by all passes:
+  loop-header splitting (paper figure 3a/3b) and critical-edge splitting
+  for placing per-edge instrumentation;
+* :mod:`repro.instrument.yieldpoints` — yieldpoint insertion (method
+  entry, loop headers, method exits), honouring uninterruptible methods;
+* :mod:`repro.instrument.pep` — the PEP pass: build the P-DAG, number it
+  (smart numbering from the edge profile collected so far), insert the
+  cheap path-register instrumentation, and turn header/exit yieldpoints
+  into sample points (paper sections 3.2-3.4, 4.3);
+* :mod:`repro.instrument.blpp_full` — full instrumentation-based path
+  profiling: PEP-style (hash update at every would-be sample point; used
+  to collect perfect profiles, section 5.1) and classic Ball-Larus
+  (back-edge truncation + array counters, for the section 2.2 baseline);
+* :mod:`repro.instrument.edge_instr` — per-branch taken/not-taken counter
+  instrumentation (the baseline compiler's one-time edge profiling,
+  section 4.2, and the perfect-edge-profile configuration, section 5.1).
+"""
+
+from repro.instrument.structure import split_edge, split_loop_headers
+from repro.instrument.yieldpoints import insert_yieldpoints
+from repro.instrument.pep import PepInstrumentation, apply_pep
+from repro.instrument.blpp_full import apply_full_blpp
+from repro.instrument.edge_instr import apply_edge_instrumentation
+
+__all__ = [
+    "split_edge",
+    "split_loop_headers",
+    "insert_yieldpoints",
+    "PepInstrumentation",
+    "apply_pep",
+    "apply_full_blpp",
+    "apply_edge_instrumentation",
+]

@@ -1,0 +1,143 @@
+"""Full instrumentation-based path profiling.
+
+Two styles:
+
+* ``"pep"`` — paths end at loop headers, and an explicit hashed
+  ``count[r]++`` runs at every location PEP would merely *sample*.  This
+  is the paper's perfect-profile collector (section 5.1): "mimics PEP's
+  instrumentation, except that it updates the path profile at every
+  yieldpoint via an inserted hash call".  Implemented by delegating to
+  :func:`repro.instrument.pep.apply_pep` with ``count_mode``.
+
+* ``"classic"`` — textbook Ball-Larus (section 3.1 / figure 1): back
+  edges are truncated, and the back edge itself carries the restored
+  sequence ``r += v_exit; count[r]++; r = 0; r += v_entry`` in a block
+  materialised on the edge.  Used by the section 2.2 BLPP-overhead
+  baseline bench with array-mode counters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.bytecode.instructions import PathCount, PepAdd, PepInit
+from repro.bytecode.method import Method
+from repro.cfg.dag import DUMMY_ENTRY, DUMMY_EXIT, EXIT_EDGE, PDag, build_classic_dag
+from repro.cfg.graph import CFG
+from repro.cfg.loops import analyze_loops
+from repro.errors import InstrumentationError
+from repro.instrument.pep import (
+    PepInstrumentation,
+    _insert_entry_init,
+    _place_real_edge_adds,
+    apply_pep,
+)
+from repro.instrument.structure import ensure_entry_preheader, split_edge
+from repro.profiling.ballarus import assign_ball_larus_values
+from repro.profiling.edges import EdgeProfile
+from repro.profiling.smart import assign_smart_values
+
+
+def apply_full_blpp(
+    method: Method,
+    edge_profile: Optional[EdgeProfile] = None,
+    style: str = "pep",
+    count_mode: str = "hash",
+    smart: bool = True,
+) -> Optional[PepInstrumentation]:
+    """Instrument ``method`` with full (non-sampled) path profiling."""
+    if style == "pep":
+        return apply_pep(
+            method,
+            edge_profile=edge_profile,
+            smart=smart,
+            count_mode=count_mode,
+        )
+    if style != "classic":
+        raise InstrumentationError(f"unknown BLPP style {style!r}")
+    return _apply_classic(method, edge_profile, count_mode, smart)
+
+
+def _apply_classic(
+    method: Method,
+    edge_profile: Optional[EdgeProfile],
+    count_mode: str,
+    smart: bool,
+) -> Optional[PepInstrumentation]:
+    if not any(True for _ in method.iter_branches()):
+        return None
+
+    loops = analyze_loops(CFG.from_method(method))
+    if method.entry in loops.headers:
+        ensure_entry_preheader(method)
+
+    dag = build_classic_dag(method, loops.back_edges)
+    if smart:
+        assign_smart_values(dag, edge_profile)
+    else:
+        assign_ball_larus_values(dag)
+
+    result = PepInstrumentation(dag, split_map={})
+    _place_real_edge_adds(method, dag, result)
+    _insert_entry_init(method)
+    _instrument_back_edges(method, dag, result, count_mode)
+    _instrument_classic_exits(method, dag, result, count_mode)
+    return result
+
+
+def _instrument_back_edges(
+    method: Method,
+    dag: PDag,
+    result: PepInstrumentation,
+    count_mode: str,
+) -> None:
+    """Materialise the count-and-reset sequence on each back edge."""
+    entry_values: Dict[str, int] = {
+        edge.dst: edge.value for edge in dag.edges if edge.kind == DUMMY_ENTRY
+    }
+    # Dummy-exit edges were appended in dag.truncated order.
+    exit_edges = [edge for edge in dag.edges if edge.kind == DUMMY_EXIT]
+    if len(exit_edges) != len(dag.truncated):
+        raise InstrumentationError(
+            f"{method.name}: dummy-exit edge/back-edge mismatch"
+        )
+    for (tail, header), dummy_exit in zip(dag.truncated, exit_edges):
+        mid = split_edge(method, tail, header)
+        block = method.block(mid)
+        if dummy_exit.value:
+            block.instrs.append(PepAdd(dummy_exit.value))
+            result.adds_placed += 1
+        block.instrs.append(PathCount(count_mode))
+        block.instrs.append(PepInit())
+        v_entry = entry_values.get(header, 0)
+        if v_entry:
+            block.instrs.append(PepAdd(v_entry))
+            result.adds_placed += 1
+        result.edges_split += 1
+
+
+def _instrument_classic_exits(
+    method: Method,
+    dag: PDag,
+    result: PepInstrumentation,
+    count_mode: str,
+) -> None:
+    """``r += v; count[r]++`` at every method exit (before any yieldpoint)."""
+    exit_values: Dict[str, int] = {
+        edge.src: edge.value for edge in dag.edges if edge.kind == EXIT_EDGE
+    }
+    from repro.bytecode.instructions import Yieldpoint
+
+    for label in method.exit_labels():
+        block = method.block(label)
+        insert_at = len(block.instrs)
+        last = block.instrs[-1] if block.instrs else None
+        if isinstance(last, Yieldpoint) and last.kind == "exit":
+            insert_at -= 1
+        additions = []
+        value = exit_values.get(label, 0)
+        if value:
+            additions.append(PepAdd(value))
+            result.adds_placed += 1
+        additions.append(PathCount(count_mode))
+        block.instrs[insert_at:insert_at] = additions

@@ -1,0 +1,120 @@
+"""CFG surgery shared by the instrumentation passes.
+
+Two operations:
+
+* :func:`split_loop_headers` — the figure 3(a)/(b) transformation: each
+  loop header keeps its label and its leading yieldpoint ("top") and the
+  remainder of the block moves to a fresh "bottom" block.  The top->bottom
+  edge is the one the P-DAG truncates.
+
+* :func:`split_edge` — classic critical-edge splitting: materialise a
+  basic block on one CFG edge so instrumentation can be placed on *that
+  edge only*.  Used when an edge with a non-zero Ball-Larus value has a
+  multi-successor source and a multi-predecessor target.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.bytecode.instructions import Br, Instr, Jmp, Yieldpoint
+from repro.bytecode.method import BasicBlock, Method
+from repro.errors import InstrumentationError
+
+
+def split_loop_headers(method: Method, headers: Iterable[str]) -> Dict[str, str]:
+    """Split each loop header after its leading yieldpoint.
+
+    The header keeps its label (so all incoming edges, including back
+    edges, still enter the top) and retains only its leading yieldpoint;
+    everything else moves to a new ``<label>.bot`` block that the top jumps
+    to.  Returns the top -> bottom label map consumed by
+    :func:`repro.cfg.dag.build_pep_dag`.
+    """
+    mapping: Dict[str, str] = {}
+    for label in headers:
+        block = method.block(label)
+        bottom_label = f"{label}.bot"
+        if bottom_label in method.blocks:
+            raise InstrumentationError(
+                f"{method.name}: header {label!r} appears already split"
+            )
+
+        keep: List[Instr] = []
+        rest: List[Instr] = list(block.instrs)
+        if rest and isinstance(rest[0], Yieldpoint):
+            keep.append(rest.pop(0))
+
+        bottom = BasicBlock(bottom_label, rest, block.terminator)
+        method.add_block(bottom)
+        block.instrs = keep
+        block.terminator = Jmp(bottom_label)
+        mapping[label] = bottom_label
+    return mapping
+
+
+def ensure_entry_preheader(method: Method) -> str:
+    """Give the method a fresh entry block jumping to the old one.
+
+    Needed when the entry block is itself a loop header: the path-numbering
+    ENTRY node must not coincide with a split header, so a preheader is
+    materialised (real compilers do the same).  Returns the new entry label.
+    """
+    old_entry = method.entry
+    if old_entry is None:
+        raise InstrumentationError(f"{method.name}: method has no blocks")
+    label = "__pre_entry__"
+    suffix = 0
+    while label in method.blocks:
+        suffix += 1
+        label = f"__pre_entry__{suffix}"
+    method.add_block(BasicBlock(label, [], Jmp(old_entry)))
+    method.entry = label
+    return label
+
+
+def split_edge(method: Method, src_label: str, dst_label: str) -> str:
+    """Insert a block on the edge src -> dst; returns its label.
+
+    The new block initially holds no instructions and jumps to ``dst``;
+    callers append instrumentation to it.  For a conditional branch with
+    both arms pointing at ``dst`` this retargets only the first arm —
+    but the verifier rejects such degenerate branches, so in practice the
+    edge is unambiguous.
+    """
+    src = method.block(src_label)
+    term = src.terminator
+    if term is None:
+        raise InstrumentationError(
+            f"{method.name}:{src_label}: cannot split edge out of an "
+            "unterminated block"
+        )
+    mid_label = f"{src_label}.to.{dst_label}"
+    suffix = 0
+    while mid_label in method.blocks:
+        suffix += 1
+        mid_label = f"{src_label}.to.{dst_label}.{suffix}"
+
+    if isinstance(term, Jmp):
+        if term.label != dst_label:
+            raise InstrumentationError(
+                f"{method.name}: no edge {src_label}->{dst_label}"
+            )
+        term.label = mid_label
+    elif isinstance(term, Br):
+        if term.then_label == dst_label:
+            term.then_label = mid_label
+        elif term.else_label == dst_label:
+            term.else_label = mid_label
+        else:
+            raise InstrumentationError(
+                f"{method.name}: no edge {src_label}->{dst_label}"
+            )
+    else:
+        raise InstrumentationError(
+            f"{method.name}:{src_label}: cannot split an edge out of a "
+            f"{term.op!r} terminator"
+        )
+
+    method.add_block(BasicBlock(mid_label, [], Jmp(dst_label)))
+    return mid_label

@@ -1,0 +1,77 @@
+"""Yieldpoint insertion (paper sections 3.2 and 4.1).
+
+Jikes RVM inserts yieldpoints on loop headers, method entries, and method
+exits so the VM can gain control of a thread quickly; PEP piggybacks its
+sampling on exactly these points.  Rules implemented here:
+
+* uninterruptible methods receive no yieldpoints at all;
+* blocks inlined from uninterruptible callees (``method.no_yield_labels``)
+  receive no header yieldpoints — the case where PEP loses paths
+  (section 4.3);
+* optionally, branch-free leaf methods are skipped (their path profile is
+  trivial, section 4.3 case 1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bytecode.instructions import Br, Ret, Yieldpoint
+from repro.bytecode.method import Method
+from repro.cfg.graph import CFG
+from repro.cfg.loops import LoopInfo, analyze_loops
+
+
+def is_trivial_leaf(method: Method) -> bool:
+    """True for methods with no conditional branches and no calls."""
+    for block in method.iter_blocks():
+        if isinstance(block.terminator, Br):
+            return False
+        for instr in block.instrs:
+            if instr.op == "call":
+                return False
+    return True
+
+
+def insert_yieldpoints(
+    method: Method,
+    loops: Optional[LoopInfo] = None,
+    skip_trivial_leaves: bool = False,
+) -> int:
+    """Insert entry/header/exit yieldpoints; returns how many were added.
+
+    Idempotence: a block that already starts with a yieldpoint (or a ret
+    block already preceded by one) is left alone, so compiler pipelines
+    may re-run the pass safely.
+    """
+    if method.uninterruptible:
+        return 0
+    if skip_trivial_leaves and is_trivial_leaf(method):
+        return 0
+    if loops is None:
+        loops = analyze_loops(CFG.from_method(method))
+
+    added = 0
+    entry_block = method.entry_block()
+    if not (entry_block.instrs and isinstance(entry_block.instrs[0], Yieldpoint)):
+        entry_block.instrs.insert(0, Yieldpoint("entry"))
+        added += 1
+
+    for label in loops.headers:
+        if label in method.no_yield_labels:
+            continue
+        block = method.block(label)
+        if block.instrs and isinstance(block.instrs[0], Yieldpoint):
+            continue
+        block.instrs.insert(0, Yieldpoint("header"))
+        added += 1
+
+    for label in method.exit_labels():
+        block = method.block(label)
+        last = block.instrs[-1] if block.instrs else None
+        if isinstance(last, Yieldpoint) and last.kind == "exit":
+            continue
+        block.instrs.append(Yieldpoint("exit"))
+        added += 1
+
+    return added

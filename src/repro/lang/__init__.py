@@ -1,0 +1,30 @@
+"""MiniJ: a small structured language compiled to guest bytecode.
+
+The paper's substrate consumes Java bytecode produced by javac; our
+equivalent front end lets examples and tests write guest programs as
+source text instead of builder calls::
+
+    from repro.lang import compile_source
+
+    program = compile_source('''
+        fn main() {
+            let total = 0;
+            for i in 0 .. 10 {
+                if (i % 2 == 0) { total = total + i; }
+            }
+            emit total;
+            return total;
+        }
+    ''')
+
+Pipeline: :mod:`lexer` -> :mod:`parser` (recursive descent, producing
+:mod:`ast` nodes) -> :mod:`compiler` (lowering through the structured
+:class:`~repro.bytecode.builder.ProgramBuilder`, so all control flow is
+reducible by construction).
+"""
+
+from repro.lang.lexer import Token, tokenize
+from repro.lang.parser import parse
+from repro.lang.compiler import compile_source, compile_module
+
+__all__ = ["Token", "tokenize", "parse", "compile_source", "compile_module"]

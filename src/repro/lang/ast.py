@@ -1,0 +1,218 @@
+"""AST node classes for MiniJ.
+
+Plain data holders; the parser builds them, the compiler walks them.
+Every node records its source line for diagnostics.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+class Node:
+    __slots__ = ("line",)
+
+    def __init__(self, line: int) -> None:
+        self.line = line
+
+
+# -- expressions -------------------------------------------------------------
+
+
+class NumberLit(Node):
+    __slots__ = ("value",)
+
+    def __init__(self, value: int, line: int) -> None:
+        super().__init__(line)
+        self.value = value
+
+
+class VarRef(Node):
+    __slots__ = ("name",)
+
+    def __init__(self, name: str, line: int) -> None:
+        super().__init__(line)
+        self.name = name
+
+
+class UnaryOp(Node):
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Node, line: int) -> None:
+        super().__init__(line)
+        self.op = op  # '-' or '!'
+        self.operand = operand
+
+
+class BinaryOp(Node):
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Node, right: Node, line: int) -> None:
+        super().__init__(line)
+        self.op = op
+        self.left = left
+        self.right = right
+
+
+class CallExpr(Node):
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, args: Sequence[Node], line: int) -> None:
+        super().__init__(line)
+        self.name = name
+        self.args = list(args)
+
+
+class IndexExpr(Node):
+    __slots__ = ("array", "index")
+
+    def __init__(self, array: Node, index: Node, line: int) -> None:
+        super().__init__(line)
+        self.array = array
+        self.index = index
+
+
+class NewArray(Node):
+    __slots__ = ("size",)
+
+    def __init__(self, size: Node, line: int) -> None:
+        super().__init__(line)
+        self.size = size
+
+
+class LenExpr(Node):
+    __slots__ = ("array",)
+
+    def __init__(self, array: Node, line: int) -> None:
+        super().__init__(line)
+        self.array = array
+
+
+# -- statements -------------------------------------------------------------
+
+
+class LetStmt(Node):
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: Node, line: int) -> None:
+        super().__init__(line)
+        self.name = name
+        self.value = value
+
+
+class AssignStmt(Node):
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: Node, line: int) -> None:
+        super().__init__(line)
+        self.name = name
+        self.value = value
+
+
+class StoreStmt(Node):
+    __slots__ = ("array", "index", "value")
+
+    def __init__(self, array: Node, index: Node, value: Node, line: int) -> None:
+        super().__init__(line)
+        self.array = array
+        self.index = index
+        self.value = value
+
+
+class IfStmt(Node):
+    __slots__ = ("cond", "then_body", "else_body")
+
+    def __init__(
+        self,
+        cond: Node,
+        then_body: List[Node],
+        else_body: Optional[List[Node]],
+        line: int,
+    ) -> None:
+        super().__init__(line)
+        self.cond = cond
+        self.then_body = then_body
+        self.else_body = else_body
+
+
+class WhileStmt(Node):
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond: Node, body: List[Node], line: int) -> None:
+        super().__init__(line)
+        self.cond = cond
+        self.body = body
+
+
+class ForStmt(Node):
+    __slots__ = ("var", "start", "stop", "body")
+
+    def __init__(
+        self, var: str, start: Node, stop: Node, body: List[Node], line: int
+    ) -> None:
+        super().__init__(line)
+        self.var = var
+        self.start = start
+        self.stop = stop
+        self.body = body
+
+
+class BreakStmt(Node):
+    __slots__ = ()
+
+
+class ContinueStmt(Node):
+    __slots__ = ()
+
+
+class ReturnStmt(Node):
+    __slots__ = ("value",)
+
+    def __init__(self, value: Optional[Node], line: int) -> None:
+        super().__init__(line)
+        self.value = value
+
+
+class EmitStmt(Node):
+    __slots__ = ("value",)
+
+    def __init__(self, value: Node, line: int) -> None:
+        super().__init__(line)
+        self.value = value
+
+
+class ExprStmt(Node):
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Node, line: int) -> None:
+        super().__init__(line)
+        self.expr = expr
+
+
+# -- top level -----------------------------------------------------------------
+
+
+class FunctionDef(Node):
+    __slots__ = ("name", "params", "body", "uninterruptible")
+
+    def __init__(
+        self,
+        name: str,
+        params: List[str],
+        body: List[Node],
+        uninterruptible: bool,
+        line: int,
+    ) -> None:
+        super().__init__(line)
+        self.name = name
+        self.params = params
+        self.body = body
+        self.uninterruptible = uninterruptible
+
+
+class Module(Node):
+    __slots__ = ("functions",)
+
+    def __init__(self, functions: List[FunctionDef]) -> None:
+        super().__init__(1)
+        self.functions = functions

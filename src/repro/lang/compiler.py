@@ -1,0 +1,226 @@
+"""Lowering MiniJ ASTs to guest bytecode through the structured builder.
+
+Semantics notes:
+
+* every value is an integer (or an array reference);
+* comparisons produce 0/1; ``if``/``while`` branch on value != 0;
+* ``&&``/``||`` are *eager* (both sides evaluate) — this is documented
+  language behaviour, keeping lowering simple and control flow reducible;
+* integer division/modulo by zero and out-of-bounds indexing trap at run
+  time, exactly as the interpreter defines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.bytecode.builder import FunctionBuilder, ProgramBuilder, Value
+from repro.bytecode.method import Program
+from repro.errors import CompileError
+from repro.lang import ast
+from repro.lang.parser import parse
+
+_ARITH = {
+    "+": "add",
+    "-": "sub",
+    "*": "mul",
+    "/": "div",
+    "%": "mod",
+    "&": "and",
+    "|": "or",
+    "^": "xor",
+    "<<": "shl",
+    ">>": "shr",
+}
+_COMPARE = {
+    "==": "eq",
+    "!=": "ne",
+    "<": "lt",
+    "<=": "le",
+    ">": "gt",
+    ">=": "ge",
+}
+
+
+class _FunctionCompiler:
+    def __init__(
+        self,
+        fb: FunctionBuilder,
+        function_names: Dict[str, int],
+    ) -> None:
+        self.fb = fb
+        self.function_names = function_names  # name -> arity
+        self.scope: Dict[str, Value] = dict(fb._param_values)
+
+    def error(self, message: str, node: ast.Node) -> CompileError:
+        return CompileError(f"line {node.line}: {message}")
+
+    # -- statements ------------------------------------------------------------
+
+    def compile_body(self, body: List[ast.Node]) -> None:
+        for statement in body:
+            self.compile_statement(statement)
+
+    def compile_statement(self, node: ast.Node) -> None:
+        fb = self.fb
+        if isinstance(node, ast.LetStmt):
+            if node.name in self.scope:
+                raise self.error(f"variable {node.name!r} already defined", node)
+            value = self.compile_expression(node.value)
+            slot = fb.local(0)
+            fb.assign(slot, value)
+            self.scope[node.name] = slot
+        elif isinstance(node, ast.AssignStmt):
+            slot = self.lookup(node.name, node)
+            fb.assign(slot, self.compile_expression(node.value))
+        elif isinstance(node, ast.StoreStmt):
+            array = self.compile_expression(node.array)
+            index = self.compile_expression(node.index)
+            value = self.compile_expression(node.value)
+            fb.store(array, index, value)
+        elif isinstance(node, ast.IfStmt):
+            cond = self.compile_expression(node.cond)
+            if node.else_body is None:
+                fb.if_(cond.ne(0), lambda: self.compile_body(node.then_body))
+            else:
+                fb.if_(
+                    cond.ne(0),
+                    lambda: self.compile_body(node.then_body),
+                    lambda: self.compile_body(node.else_body),
+                )
+        elif isinstance(node, ast.WhileStmt):
+            fb.while_(
+                lambda: self.compile_expression(node.cond).ne(0),
+                lambda: self.compile_body(node.body),
+            )
+        elif isinstance(node, ast.ForStmt):
+            if node.var in self.scope:
+                raise self.error(
+                    f"loop variable {node.var!r} shadows an existing variable",
+                    node,
+                )
+            start = self.compile_expression(node.start)
+            stop = self.compile_expression(node.stop)
+
+            def loop_body(induction: Value) -> None:
+                self.scope[node.var] = induction
+                self.compile_body(node.body)
+
+            fb.for_range(start, stop, 1, loop_body)
+            self.scope.pop(node.var, None)
+        elif isinstance(node, ast.BreakStmt):
+            fb.break_()
+        elif isinstance(node, ast.ContinueStmt):
+            fb.continue_()
+        elif isinstance(node, ast.ReturnStmt):
+            if node.value is None:
+                fb.ret()
+            else:
+                fb.ret(self.compile_expression(node.value))
+        elif isinstance(node, ast.EmitStmt):
+            fb.emit(self.compile_expression(node.value))
+        elif isinstance(node, ast.ExprStmt):
+            self.compile_expression(node.expr)
+        else:  # pragma: no cover - parser produces only the above
+            raise self.error(f"unsupported statement {type(node).__name__}", node)
+
+    # -- expressions -------------------------------------------------------------
+
+    def compile_expression(self, node: ast.Node) -> Value:
+        fb = self.fb
+        if isinstance(node, ast.NumberLit):
+            return fb.const(node.value)
+        if isinstance(node, ast.VarRef):
+            return self.lookup(node.name, node)
+        if isinstance(node, ast.UnaryOp):
+            operand = self.compile_expression(node.operand)
+            if node.op == "-":
+                return -operand
+            return fb.bool(operand.eq(0))  # !x == (x == 0)
+        if isinstance(node, ast.BinaryOp):
+            return self.compile_binary(node)
+        if isinstance(node, ast.CallExpr):
+            arity = self.function_names.get(node.name)
+            if arity is None:
+                raise self.error(f"unknown function {node.name!r}", node)
+            if arity != len(node.args):
+                raise self.error(
+                    f"{node.name!r} takes {arity} arguments, got "
+                    f"{len(node.args)}",
+                    node,
+                )
+            args = [self.compile_expression(a) for a in node.args]
+            return fb.call(node.name, *args)
+        if isinstance(node, ast.IndexExpr):
+            array = self.compile_expression(node.array)
+            index = self.compile_expression(node.index)
+            return fb.load(array, index)
+        if isinstance(node, ast.NewArray):
+            return fb.array(self.compile_expression(node.size))
+        if isinstance(node, ast.LenExpr):
+            return fb.length(self.compile_expression(node.array))
+        raise self.error(  # pragma: no cover
+            f"unsupported expression {type(node).__name__}", node
+        )
+
+    def compile_binary(self, node: ast.BinaryOp) -> Value:
+        fb = self.fb
+        left = self.compile_expression(node.left)
+        right = self.compile_expression(node.right)
+        if node.op in _ARITH:
+            return fb._binop(_ARITH[node.op], left, right)
+        if node.op in _COMPARE:
+            from repro.bytecode.builder import Cmp
+
+            return fb.bool(Cmp(_COMPARE[node.op], left, right))
+        if node.op == "&&":
+            lbool = fb.bool(left.ne(0))
+            rbool = fb.bool(right.ne(0))
+            return fb._binop("and", lbool, rbool)
+        if node.op == "||":
+            lbool = fb.bool(left.ne(0))
+            rbool = fb.bool(right.ne(0))
+            return fb._binop("or", lbool, rbool)
+        raise self.error(f"unsupported operator {node.op!r}", node)
+
+    def lookup(self, name: str, node: ast.Node) -> Value:
+        value = self.scope.get(name)
+        if value is None:
+            raise self.error(f"undefined variable {name!r}", node)
+        return value
+
+
+def compile_module(module: ast.Module, name: str = "minij") -> Program:
+    """Lower a parsed module to a sealed guest Program."""
+    arities: Dict[str, int] = {}
+    for function in module.functions:
+        if function.name in arities:
+            raise CompileError(
+                f"line {function.line}: duplicate function {function.name!r}"
+            )
+        arities[function.name] = len(function.params)
+    if "main" not in arities:
+        raise CompileError("module must define fn main()")
+    if arities["main"] != 0:
+        raise CompileError("fn main() must take no parameters")
+
+    pb = ProgramBuilder(name)
+    for function in module.functions:
+        if len(set(function.params)) != len(function.params):
+            raise CompileError(
+                f"line {function.line}: duplicate parameter names in "
+                f"{function.name!r}"
+            )
+        fb = pb.function(
+            function.name,
+            function.params,
+            uninterruptible=function.uninterruptible,
+        )
+        compiler = _FunctionCompiler(fb, arities)
+        compiler.compile_body(function.body)
+    return pb.build()
+
+
+def compile_source(source: str, name: str = "minij") -> Program:
+    """Parse and compile MiniJ source text to a guest Program."""
+    return compile_module(parse(source), name=name)

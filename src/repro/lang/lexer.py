@@ -1,0 +1,146 @@
+"""Tokenizer for the MiniJ language."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.errors import LexError
+
+KEYWORDS = frozenset(
+    {
+        "fn",
+        "let",
+        "if",
+        "else",
+        "while",
+        "for",
+        "in",
+        "break",
+        "continue",
+        "return",
+        "emit",
+        "new",
+        "len",
+        "uninterruptible",
+    }
+)
+
+# Multi-character operators first so maximal munch works.
+OPERATORS = [
+    "..",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "<<",
+    ">>",
+    "&&",
+    "||",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "&",
+    "|",
+    "^",
+    "!",
+    "=",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ",",
+    ";",
+]
+
+
+class Token:
+    """A lexical token with source position for error messages."""
+
+    __slots__ = ("kind", "value", "line", "column")
+
+    def __init__(self, kind: str, value: str, line: int, column: int) -> None:
+        self.kind = kind  # 'number' | 'name' | 'keyword' | 'op' | 'eof'
+        self.value = value
+        self.line = line
+        self.column = column
+
+    def __repr__(self) -> str:
+        return f"<{self.kind} {self.value!r} @{self.line}:{self.column}>"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Lex MiniJ source into a token list ending with an 'eof' token."""
+    tokens: List[Token] = []
+    line = 1
+    column = 1
+    index = 0
+    length = len(source)
+
+    def error(message: str) -> LexError:
+        return LexError(message, line, column)
+
+    while index < length:
+        ch = source[index]
+
+        if ch == "\n":
+            index += 1
+            line += 1
+            column = 1
+            continue
+        if ch in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if ch == "#" or source.startswith("//", index):
+            while index < length and source[index] != "\n":
+                index += 1
+            continue
+
+        if ch.isdigit():
+            start = index
+            start_col = column
+            while index < length and (
+                source[index].isdigit()
+                or source[index] in "xXabcdefABCDEF"
+                and source[start : start + 2].lower() == "0x"
+            ):
+                index += 1
+                column += 1
+            text = source[start:index]
+            try:
+                int(text, 0)
+            except ValueError:
+                raise error(f"malformed number {text!r}") from None
+            tokens.append(Token("number", text, line, start_col))
+            continue
+
+        if ch.isalpha() or ch == "_":
+            start = index
+            start_col = column
+            while index < length and (source[index].isalnum() or source[index] == "_"):
+                index += 1
+                column += 1
+            text = source[start:index]
+            kind = "keyword" if text in KEYWORDS else "name"
+            tokens.append(Token(kind, text, line, start_col))
+            continue
+
+        matched: Optional[str] = None
+        for op in OPERATORS:
+            if source.startswith(op, index):
+                matched = op
+                break
+        if matched is None:
+            raise error(f"unexpected character {ch!r}")
+        tokens.append(Token("op", matched, line, column))
+        index += len(matched)
+        column += len(matched)
+
+    tokens.append(Token("eof", "", line, column))
+    return tokens

@@ -1,0 +1,276 @@
+"""Recursive-descent parser for MiniJ.
+
+Precedence (loosest to tightest):
+
+    ||  &&  |  ^  &  ==/!=  </<=/>/>=  <</>>  +/-  * / %  unary -/!
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import ParseError
+from repro.lang import ast
+from repro.lang.lexer import Token, tokenize
+
+# Binary precedence levels, loosest first.
+_LEVELS = [
+    ["||"],
+    ["&&"],
+    ["|"],
+    ["^"],
+    ["&"],
+    ["==", "!="],
+    ["<", "<=", ">", ">="],
+    ["<<", ">>"],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def error(self, message: str) -> ParseError:
+        tok = self.current
+        return ParseError(
+            f"{message} (found {tok.kind} {tok.value!r})", tok.line, tok.column
+        )
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def at_op(self, value: str) -> bool:
+        return self.current.kind == "op" and self.current.value == value
+
+    def at_keyword(self, value: str) -> bool:
+        return self.current.kind == "keyword" and self.current.value == value
+
+    def expect_op(self, value: str) -> Token:
+        if not self.at_op(value):
+            raise self.error(f"expected {value!r}")
+        return self.advance()
+
+    def expect_keyword(self, value: str) -> Token:
+        if not self.at_keyword(value):
+            raise self.error(f"expected keyword {value!r}")
+        return self.advance()
+
+    def expect_name(self) -> Token:
+        if self.current.kind != "name":
+            raise self.error("expected an identifier")
+        return self.advance()
+
+    # -- grammar --------------------------------------------------------------
+
+    def parse_module(self) -> ast.Module:
+        functions: List[ast.FunctionDef] = []
+        while self.current.kind != "eof":
+            functions.append(self.parse_function())
+        if not functions:
+            raise self.error("module contains no functions")
+        return ast.Module(functions)
+
+    def parse_function(self) -> ast.FunctionDef:
+        uninterruptible = False
+        if self.at_keyword("uninterruptible"):
+            self.advance()
+            uninterruptible = True
+        start = self.expect_keyword("fn")
+        name = self.expect_name().value
+        self.expect_op("(")
+        params: List[str] = []
+        if not self.at_op(")"):
+            params.append(self.expect_name().value)
+            while self.at_op(","):
+                self.advance()
+                params.append(self.expect_name().value)
+        self.expect_op(")")
+        body = self.parse_block()
+        return ast.FunctionDef(name, params, body, uninterruptible, start.line)
+
+    def parse_block(self) -> List[ast.Node]:
+        self.expect_op("{")
+        statements: List[ast.Node] = []
+        while not self.at_op("}"):
+            if self.current.kind == "eof":
+                raise self.error("unterminated block")
+            statements.append(self.parse_statement())
+        self.expect_op("}")
+        return statements
+
+    def parse_statement(self) -> ast.Node:
+        token = self.current
+        if self.at_keyword("let"):
+            self.advance()
+            name = self.expect_name().value
+            self.expect_op("=")
+            value = self.parse_expression()
+            self.expect_op(";")
+            return ast.LetStmt(name, value, token.line)
+        if self.at_keyword("if"):
+            return self.parse_if()
+        if self.at_keyword("while"):
+            self.advance()
+            self.expect_op("(")
+            cond = self.parse_expression()
+            self.expect_op(")")
+            body = self.parse_block()
+            return ast.WhileStmt(cond, body, token.line)
+        if self.at_keyword("for"):
+            self.advance()
+            var = self.expect_name().value
+            self.expect_keyword("in")
+            start = self.parse_expression()
+            self.expect_op("..")
+            stop = self.parse_expression()
+            body = self.parse_block()
+            return ast.ForStmt(var, start, stop, body, token.line)
+        if self.at_keyword("break"):
+            self.advance()
+            self.expect_op(";")
+            node = ast.BreakStmt(token.line)
+            return node
+        if self.at_keyword("continue"):
+            self.advance()
+            self.expect_op(";")
+            return ast.ContinueStmt(token.line)
+        if self.at_keyword("return"):
+            self.advance()
+            value: Optional[ast.Node] = None
+            if not self.at_op(";"):
+                value = self.parse_expression()
+            self.expect_op(";")
+            return ast.ReturnStmt(value, token.line)
+        if self.at_keyword("emit"):
+            self.advance()
+            value = self.parse_expression()
+            self.expect_op(";")
+            return ast.EmitStmt(value, token.line)
+
+        # Assignment, array store, or expression statement.
+        if self.current.kind == "name":
+            name_token = self.current
+            next_token = self.tokens[self.pos + 1]
+            if next_token.kind == "op" and next_token.value == "=":
+                self.advance()
+                self.advance()
+                value = self.parse_expression()
+                self.expect_op(";")
+                return ast.AssignStmt(name_token.value, value, name_token.line)
+            if next_token.kind == "op" and next_token.value == "[":
+                # Could be a store (a[i] = v;) or an indexed read in an
+                # expression statement; decide after parsing the index.
+                checkpoint = self.pos
+                self.advance()
+                self.advance()
+                index = self.parse_expression()
+                self.expect_op("]")
+                if self.at_op("="):
+                    self.advance()
+                    value = self.parse_expression()
+                    self.expect_op(";")
+                    array = ast.VarRef(name_token.value, name_token.line)
+                    return ast.StoreStmt(array, index, value, name_token.line)
+                self.pos = checkpoint  # re-parse as an expression
+
+        expr = self.parse_expression()
+        self.expect_op(";")
+        return ast.ExprStmt(expr, token.line)
+
+    def parse_if(self) -> ast.IfStmt:
+        token = self.expect_keyword("if")
+        self.expect_op("(")
+        cond = self.parse_expression()
+        self.expect_op(")")
+        then_body = self.parse_block()
+        else_body: Optional[List[ast.Node]] = None
+        if self.at_keyword("else"):
+            self.advance()
+            if self.at_keyword("if"):
+                else_body = [self.parse_if()]
+            else:
+                else_body = self.parse_block()
+        return ast.IfStmt(cond, then_body, else_body, token.line)
+
+    def parse_expression(self, level: int = 0) -> ast.Node:
+        if level == len(_LEVELS):
+            return self.parse_unary()
+        left = self.parse_expression(level + 1)
+        ops = _LEVELS[level]
+        while self.current.kind == "op" and self.current.value in ops:
+            op = self.advance()
+            right = self.parse_expression(level + 1)
+            left = ast.BinaryOp(op.value, left, right, op.line)
+        return left
+
+    def parse_unary(self) -> ast.Node:
+        if self.at_op("-"):
+            token = self.advance()
+            return ast.UnaryOp("-", self.parse_unary(), token.line)
+        if self.at_op("!"):
+            token = self.advance()
+            return ast.UnaryOp("!", self.parse_unary(), token.line)
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> ast.Node:
+        node = self.parse_primary()
+        while self.at_op("["):
+            token = self.advance()
+            index = self.parse_expression()
+            self.expect_op("]")
+            node = ast.IndexExpr(node, index, token.line)
+        return node
+
+    def parse_primary(self) -> ast.Node:
+        token = self.current
+        if token.kind == "number":
+            self.advance()
+            return ast.NumberLit(int(token.value, 0), token.line)
+        if self.at_keyword("new"):
+            self.advance()
+            self.expect_op("[")
+            size = self.parse_expression()
+            self.expect_op("]")
+            return ast.NewArray(size, token.line)
+        if self.at_keyword("len"):
+            self.advance()
+            self.expect_op("(")
+            array = self.parse_expression()
+            self.expect_op(")")
+            return ast.LenExpr(array, token.line)
+        if token.kind == "name":
+            self.advance()
+            if self.at_op("("):
+                self.advance()
+                args: List[ast.Node] = []
+                if not self.at_op(")"):
+                    args.append(self.parse_expression())
+                    while self.at_op(","):
+                        self.advance()
+                        args.append(self.parse_expression())
+                self.expect_op(")")
+                return ast.CallExpr(token.value, args, token.line)
+            return ast.VarRef(token.value, token.line)
+        if self.at_op("("):
+            self.advance()
+            node = self.parse_expression()
+            self.expect_op(")")
+            return node
+        raise self.error("expected an expression")
+
+
+def parse(source: str) -> ast.Module:
+    """Parse MiniJ source text into a Module AST."""
+    return _Parser(tokenize(source)).parse_module()

@@ -1,0 +1,23 @@
+"""Accuracy and overhead metrics from the paper's evaluation.
+
+* :mod:`repro.metrics.wall` — Wall weight-matching for hot-path accuracy
+  with the branch-flow metric (section 6.3);
+* :mod:`repro.metrics.overlap` — relative overlap (branch bias) and
+  absolute overlap (branch frequency) for edge profiles (section 6.4);
+* :mod:`repro.metrics.overhead` — normalized-run-time summaries
+  (sections 6.1, 6.2).
+"""
+
+from repro.metrics.wall import hot_paths, wall_accuracy, path_profile_accuracy
+from repro.metrics.overlap import absolute_overlap, relative_overlap
+from repro.metrics.overhead import normalized_times, summarize_overhead
+
+__all__ = [
+    "hot_paths",
+    "wall_accuracy",
+    "path_profile_accuracy",
+    "absolute_overlap",
+    "relative_overlap",
+    "normalized_times",
+    "summarize_overhead",
+]

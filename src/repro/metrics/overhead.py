@@ -1,0 +1,34 @@
+"""Overhead summaries in the paper's reporting conventions.
+
+Figures 6, 7, 10, and 11 report per-benchmark execution time normalized
+to a Base configuration, with an average and a maximum quoted in the
+text.  These helpers turn raw virtual-cycle measurements into those
+numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.util.stats import normalize, overhead_summary
+
+
+def normalized_times(
+    measured: Dict[str, float],
+    base: Dict[str, float],
+) -> Dict[str, float]:
+    """Per-benchmark time(config)/time(Base)."""
+    return normalize(measured, base)
+
+
+def summarize_overhead(
+    measured: Dict[str, float],
+    base: Dict[str, float],
+) -> Tuple[Dict[str, float], float, float]:
+    """Returns (normalized per-benchmark, average overhead, max overhead).
+
+    Overheads are fractions: 0.012 means +1.2%.
+    """
+    normalized = normalize(measured, base)
+    average, worst = overhead_summary(normalized)
+    return normalized, average, worst

@@ -1,0 +1,70 @@
+"""Wall weight-matching: hot-path identification accuracy (section 6.3).
+
+The scheme measures a profiler's ability to *identify* a program's hot
+paths, not to estimate their relative frequencies — because hot-path
+identification is exactly what path-based optimizations consume:
+
+1. compute each path's flow F(p) = freq(p) * b_p (branch-flow metric);
+2. the *actual* hot set H_actual is every path whose flow exceeds
+   ``threshold`` (0.125%) of total actual flow, from the perfect profile;
+3. the *estimated* hot set H_estimated is the |H_actual| hottest paths of
+   the estimated profile;
+4. accuracy = F_actual(H_estimated ∩ H_actual) / F_actual(H_actual).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+from repro.profiling.flow import PathKey, profile_flows
+from repro.profiling.paths import PathProfile
+from repro.profiling.regenerate import PathResolver
+
+DEFAULT_THRESHOLD = 0.00125  # 0.125%, as in the paper and prior work.
+
+
+def hot_paths(
+    flows: Dict[PathKey, float],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> Set[PathKey]:
+    """Paths whose flow exceeds ``threshold`` of the total flow."""
+    total = sum(flows.values())
+    if total <= 0.0:
+        return set()
+    cut = threshold * total
+    return {key for key, flow in flows.items() if flow > cut}
+
+
+def wall_accuracy(
+    actual_flows: Dict[PathKey, float],
+    estimated_flows: Dict[PathKey, float],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> float:
+    """The Wall weight-matching accuracy of estimated vs actual flows."""
+    actual_hot = hot_paths(actual_flows, threshold)
+    if not actual_hot:
+        # No hot paths at all: any estimate trivially identifies them.
+        return 1.0
+    budget = len(actual_hot)
+    ranked = sorted(estimated_flows.items(), key=lambda item: (-item[1], item[0]))
+    estimated_hot = {key for key, _flow in ranked[:budget]}
+    covered = sum(actual_flows[key] for key in estimated_hot & actual_hot)
+    total_hot = sum(actual_flows[key] for key in actual_hot)
+    return covered / total_hot
+
+
+def path_profile_accuracy(
+    actual: PathProfile,
+    estimated: PathProfile,
+    resolvers: Dict[str, PathResolver],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> float:
+    """Convenience wrapper: profiles + resolvers -> Wall accuracy.
+
+    Both profiles must be keyed by the same compiled-version keys (replay
+    compilation guarantees this: identical advice produces identical
+    numbering).
+    """
+    actual_flows = profile_flows(actual, resolvers)
+    estimated_flows = profile_flows(estimated, resolvers)
+    return wall_accuracy(actual_flows, estimated_flows, threshold)

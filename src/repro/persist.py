@@ -1,0 +1,142 @@
+"""Serialization of profiles and replay advice to JSON.
+
+The paper's replay methodology stores *advice files* produced by a
+training run — the per-method optimization levels plus the edge profile
+collected by baseline-compiled code — and replays them in later runs.
+This module provides the equivalent: dict/JSON round-tripping for
+:class:`~repro.profiling.edges.EdgeProfile`,
+:class:`~repro.profiling.paths.PathProfile`, and
+:class:`~repro.adaptive.replay.Advice`, so a recorded training run can
+be saved to disk and replayed in a different process.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.adaptive.replay import Advice
+from repro.bytecode.method import BranchRef
+from repro.errors import AdviceError
+from repro.profiling.edges import EdgeProfile
+from repro.profiling.paths import PathProfile
+
+_FORMAT = "pep-repro/1"
+
+
+def edge_profile_to_dict(profile: EdgeProfile) -> Dict[str, Any]:
+    branches = [
+        {
+            "method": branch.method,
+            "index": branch.index,
+            "taken": taken,
+            "not_taken": not_taken,
+        }
+        for branch, (taken, not_taken) in sorted(
+            profile.items(), key=lambda item: item[0]
+        )
+    ]
+    return {"format": _FORMAT, "kind": "edge-profile", "branches": branches}
+
+
+def edge_profile_from_dict(data: Dict[str, Any]) -> EdgeProfile:
+    _check(data, "edge-profile")
+    profile = EdgeProfile()
+    for entry in data["branches"]:
+        branch = BranchRef(entry["method"], int(entry["index"]))
+        if entry["taken"]:
+            profile.record(branch, True, float(entry["taken"]))
+        if entry["not_taken"]:
+            profile.record(branch, False, float(entry["not_taken"]))
+    return profile
+
+
+def path_profile_to_dict(profile: PathProfile) -> Dict[str, Any]:
+    methods = {
+        method: {str(number): freq for number, freq in table.items()}
+        for method, table in (
+            (name, profile.method_paths(name)) for name in profile.methods()
+        )
+    }
+    return {"format": _FORMAT, "kind": "path-profile", "methods": methods}
+
+
+def path_profile_from_dict(data: Dict[str, Any]) -> PathProfile:
+    _check(data, "path-profile")
+    profile = PathProfile()
+    for method, table in data["methods"].items():
+        for number, freq in table.items():
+            profile.record(method, int(number), float(freq))
+    return profile
+
+
+def call_graph_to_dict(profile: "CallGraphProfile") -> Dict[str, Any]:
+    edges = [
+        {"caller": caller, "callee": callee, "count": count}
+        for (caller, callee), count in sorted(
+            profile.items(), key=lambda item: (item[0][0] or "", item[0][1])
+        )
+    ]
+    return {"format": _FORMAT, "kind": "call-graph", "edges": edges}
+
+
+def call_graph_from_dict(data: Dict[str, Any]) -> "CallGraphProfile":
+    _check(data, "call-graph")
+    from repro.profiling.callgraph import CallGraphProfile
+
+    profile = CallGraphProfile()
+    for entry in data["edges"]:
+        profile.record(entry["caller"], entry["callee"], float(entry["count"]))
+    return profile
+
+
+def advice_to_dict(advice: Advice) -> Dict[str, Any]:
+    return {
+        "format": _FORMAT,
+        "kind": "advice",
+        "levels": {
+            name: level for name, level in sorted(advice.levels.items())
+        },
+        "samples": dict(sorted(advice.samples.items())),
+        "onetime_profile": edge_profile_to_dict(advice.onetime_profile),
+        "call_graph": call_graph_to_dict(advice.call_graph),
+    }
+
+
+def advice_from_dict(data: Dict[str, Any]) -> Advice:
+    _check(data, "advice")
+    levels = {
+        name: (None if level is None else int(level))
+        for name, level in data["levels"].items()
+    }
+    samples = {name: int(count) for name, count in data["samples"].items()}
+    profile = edge_profile_from_dict(data["onetime_profile"])
+    call_graph = None
+    if "call_graph" in data:
+        call_graph = call_graph_from_dict(data["call_graph"])
+    return Advice(
+        levels=levels,
+        onetime_profile=profile,
+        samples=samples,
+        call_graph=call_graph,
+    )
+
+
+def save_advice(advice: Advice, path: str) -> None:
+    """Write an advice file, as the paper's replay methodology does."""
+    with open(path, "w") as fh:
+        json.dump(advice_to_dict(advice), fh, indent=2, sort_keys=True)
+
+
+def load_advice(path: str) -> Advice:
+    with open(path) as fh:
+        return advice_from_dict(json.load(fh))
+
+
+def _check(data: Dict[str, Any], kind: str) -> None:
+    if not isinstance(data, dict) or data.get("format") != _FORMAT:
+        raise AdviceError(f"not a {_FORMAT} document")
+    if data.get("kind") != kind:
+        raise AdviceError(
+            f"expected a {kind!r} document, got {data.get('kind')!r}"
+        )

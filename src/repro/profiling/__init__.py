@@ -1,0 +1,36 @@
+"""Path numbering, path reconstruction, and profile data structures.
+
+* :mod:`repro.profiling.ballarus` — the Ball-Larus numbering (figure 2);
+* :mod:`repro.profiling.smart` — smart path numbering (figure 4) and the
+  edge-weight estimation it needs;
+* :mod:`repro.profiling.regenerate` — the greedy algorithm mapping a path
+  number back to its edge sequence (section 3.3), with memoisation;
+* :mod:`repro.profiling.paths` / :mod:`repro.profiling.edges` — the path
+  and edge profiles PEP maintains;
+* :mod:`repro.profiling.flow` — the branch-flow metric used by the Wall
+  weight-matching accuracy measure (section 6.3).
+"""
+
+from repro.profiling.ballarus import assign_ball_larus_values
+from repro.profiling.smart import apply_edge_weights, assign_smart_values
+from repro.profiling.regenerate import PathResolver, reconstruct_path
+from repro.profiling.partial import reconstruct_partial
+from repro.profiling.paths import PathProfile
+from repro.profiling.edges import EdgeProfile
+from repro.profiling.callgraph import CallGraphProfile
+from repro.profiling.flow import path_branch_length, path_flow, profile_flows
+
+__all__ = [
+    "assign_ball_larus_values",
+    "apply_edge_weights",
+    "assign_smart_values",
+    "PathResolver",
+    "reconstruct_path",
+    "reconstruct_partial",
+    "PathProfile",
+    "EdgeProfile",
+    "CallGraphProfile",
+    "path_branch_length",
+    "path_flow",
+    "profile_flows",
+]

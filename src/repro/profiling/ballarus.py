@@ -1,0 +1,63 @@
+"""Ball-Larus path numbering (paper figure 2).
+
+Given an acyclic numbering graph, assigns an integer ``value`` to every
+edge such that summing the values along any entry-to-sink path yields a
+unique number in ``[0, N-1]``, where N is the number of such paths.
+
+The algorithm walks nodes in reverse topological order; at each node the
+running path count becomes the next edge's value:
+
+    foreach basic block v in reverse topological order
+        if v is the exit block: NumPaths(v) = 1
+        else:
+            NumPaths(v) = 0
+            foreach edge e = v -> w:
+                Val(e) = NumPaths(v)
+                NumPaths(v) = NumPaths(v) + NumPaths(w)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.cfg.dag import DagEdge, PDag
+from repro.errors import NumberingError
+
+
+def assign_ball_larus_values(
+    dag: PDag,
+    edge_order: Optional[Callable[[List[DagEdge]], List[DagEdge]]] = None,
+) -> int:
+    """Assign path-numbering values to ``dag``'s edges; return N.
+
+    ``edge_order`` lets callers control the per-node visit order of
+    outgoing edges — the only difference between plain Ball-Larus numbering
+    (insertion order) and smart path numbering (hottest first, so the
+    hottest edge receives value 0 and needs no instrumentation).
+    """
+    order = dag.topo_order()
+    num_paths: Dict[str, int] = {}
+    for node in reversed(order):
+        outs = dag.out_edges[node]
+        if not outs:
+            num_paths[node] = 1
+            continue
+        ordered = edge_order(outs) if edge_order is not None else outs
+        if len(ordered) != len(outs):
+            raise NumberingError(
+                f"{dag.method_name}: edge_order changed the edge count at "
+                f"{node!r}"
+            )
+        count = 0
+        for edge in ordered:
+            edge.value = count
+            count += num_paths[edge.dst]
+        num_paths[node] = count
+
+    total = num_paths.get(dag.entry)
+    if total is None or total <= 0:
+        raise NumberingError(
+            f"{dag.method_name}: entry node unreachable in numbering"
+        )
+    dag.num_paths = total
+    return total

@@ -1,0 +1,67 @@
+"""Dynamic call graph profile (paper section 4.1).
+
+Jikes RVM's yieldpoint handler "examines the stack, computes method
+invocation counts, and updates the dynamic call graph"; the advice files
+replay compilation consumes include that call graph (section 5).  Our VM
+does the same: on each method sample it records the (caller, callee)
+pair at the top of the guest stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+CallEdge = Tuple[Optional[str], str]  # (caller or None for the root, callee)
+
+
+class CallGraphProfile:
+    """Sampled caller->callee edge counts."""
+
+    __slots__ = ("_counts",)
+
+    def __init__(self) -> None:
+        self._counts: Dict[CallEdge, float] = {}
+
+    def record(self, caller: Optional[str], callee: str, count: float = 1.0) -> None:
+        key = (caller, callee)
+        self._counts[key] = self._counts.get(key, 0.0) + count
+
+    def count(self, caller: Optional[str], callee: str) -> float:
+        return self._counts.get((caller, callee), 0.0)
+
+    def items(self) -> Iterator[Tuple[CallEdge, float]]:
+        return iter(self._counts.items())
+
+    def callees_of(self, caller: Optional[str]) -> Dict[str, float]:
+        return {
+            callee: count
+            for (edge_caller, callee), count in self._counts.items()
+            if edge_caller == caller
+        }
+
+    def method_weight(self, name: str) -> float:
+        """Total samples landing in ``name`` (as the callee/current method)."""
+        return sum(
+            count
+            for (_caller, callee), count in self._counts.items()
+            if callee == name
+        )
+
+    def hottest_edges(self, limit: int = 10) -> List[Tuple[CallEdge, float]]:
+        ranked = sorted(self._counts.items(), key=lambda item: -item[1])
+        return ranked[:limit]
+
+    def merge(self, other: "CallGraphProfile") -> None:
+        for (caller, callee), count in other._counts.items():
+            self.record(caller, callee, count)
+
+    def copy(self) -> "CallGraphProfile":
+        clone = CallGraphProfile()
+        clone._counts = dict(self._counts)
+        return clone
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __repr__(self) -> str:
+        return f"<CallGraphProfile {len(self._counts)} edges>"

@@ -1,0 +1,115 @@
+"""Edge profiles: taken/not-taken counters per bytecode branch.
+
+This mirrors Jikes RVM's representation (paper section 4.2/4.3): one pair
+of counters per *bytecode* branch, shared by every IR copy the optimizer
+makes of that branch.  Both the baseline compiler's one-time
+instrumentation and PEP's path-derived updates feed the same structure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+from repro.bytecode.method import BranchRef
+
+
+class EdgeProfile:
+    """Mutable taken/not-taken counters keyed by :class:`BranchRef`."""
+
+    __slots__ = ("_counts",)
+
+    def __init__(self) -> None:
+        self._counts: Dict[BranchRef, List[float]] = {}
+
+    # -- updates -------------------------------------------------------------
+
+    def record(self, branch: BranchRef, taken: bool, count: float = 1.0) -> None:
+        entry = self._counts.get(branch)
+        if entry is None:
+            entry = [0.0, 0.0]
+            self._counts[branch] = entry
+        entry[0 if taken else 1] += count
+
+    def merge(self, other: "EdgeProfile") -> None:
+        for branch, (taken, not_taken) in other._counts.items():
+            entry = self._counts.get(branch)
+            if entry is None:
+                self._counts[branch] = [taken, not_taken]
+            else:
+                entry[0] += taken
+                entry[1] += not_taken
+
+    def clear(self) -> None:
+        self._counts.clear()
+
+    # -- queries ---------------------------------------------------------------
+
+    def arm_count(self, branch: BranchRef, taken: bool) -> float:
+        entry = self._counts.get(branch)
+        if entry is None:
+            return 0.0
+        return entry[0] if taken else entry[1]
+
+    def total(self, branch: BranchRef) -> float:
+        entry = self._counts.get(branch)
+        if entry is None:
+            return 0.0
+        return entry[0] + entry[1]
+
+    def bias(self, branch: BranchRef, default: float = 0.5) -> float:
+        """Fraction of executions in which the branch was taken."""
+        entry = self._counts.get(branch)
+        if entry is None:
+            return default
+        total = entry[0] + entry[1]
+        if total == 0:
+            return default
+        return entry[0] / total
+
+    def branches(self) -> Iterator[BranchRef]:
+        return iter(self._counts)
+
+    def items(self) -> Iterator[Tuple[BranchRef, Tuple[float, float]]]:
+        for branch, (taken, not_taken) in self._counts.items():
+            yield branch, (taken, not_taken)
+
+    def total_executions(self) -> float:
+        return sum(t + n for t, n in self._counts.values())
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __contains__(self, branch: BranchRef) -> bool:
+        return branch in self._counts
+
+    # -- transforms --------------------------------------------------------------
+
+    def copy(self) -> "EdgeProfile":
+        other = EdgeProfile()
+        for branch, (taken, not_taken) in self._counts.items():
+            other._counts[branch] = [taken, not_taken]
+        return other
+
+    def flipped(self) -> "EdgeProfile":
+        """Swap taken/not-taken counts for every branch.
+
+        This is the paper's "flipped" profile (section 6.5): a 90%-taken
+        branch becomes 10%-taken, used to show that profile-guided
+        optimizations really are sensitive to profile accuracy.
+        """
+        other = EdgeProfile()
+        for branch, (taken, not_taken) in self._counts.items():
+            other._counts[branch] = [not_taken, taken]
+        return other
+
+    def restricted_to(self, branches: Iterable[BranchRef]) -> "EdgeProfile":
+        """Profile containing only the given branches (for comparisons)."""
+        wanted = set(branches)
+        other = EdgeProfile()
+        for branch, (taken, not_taken) in self._counts.items():
+            if branch in wanted:
+                other._counts[branch] = [taken, not_taken]
+        return other
+
+    def __repr__(self) -> str:
+        return f"<EdgeProfile {len(self._counts)} branches>"

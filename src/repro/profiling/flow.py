@@ -1,0 +1,53 @@
+"""The branch-flow metric (paper section 6.3).
+
+Flow weights a path's frequency by its length in branches:
+
+    F(p) = freq(p) * b_p
+
+so that long paths count for more execution than short ones, and the flow
+of a path set is the sum of member flows.  The Wall weight-matching scheme
+(:mod:`repro.metrics.wall`) consumes these flows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.profiling.paths import PathProfile
+from repro.profiling.regenerate import PathResolver
+
+PathKey = Tuple[str, int]  # (method name, path number)
+
+
+def path_branch_length(resolver: PathResolver, path_number: int) -> int:
+    """b_p: the number of branches along the path."""
+    return resolver.branch_length(path_number)
+
+
+def path_flow(freq: float, branch_length: int) -> float:
+    """F(p) = freq(p) * b_p."""
+    return freq * branch_length
+
+
+def profile_flows(
+    profile: PathProfile,
+    resolvers: Dict[str, PathResolver],
+) -> Dict[PathKey, float]:
+    """Flow of every path in ``profile``.
+
+    ``resolvers`` maps method name -> the method's :class:`PathResolver`
+    (built from its numbered P-DAG).  Paths of methods without a resolver
+    are skipped — that happens when a method was never optimized, hence
+    never path-profiled.
+    """
+    flows: Dict[PathKey, float] = {}
+    for method, path_number, freq in profile.items():
+        resolver = resolvers.get(method)
+        if resolver is None:
+            continue
+        length = resolver.branch_length(path_number)
+        if length == 0:
+            # A branch-free path carries no branch flow by definition.
+            continue
+        flows[(method, path_number)] = path_flow(freq, length)
+    return flows

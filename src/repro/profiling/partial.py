@@ -1,0 +1,104 @@
+"""Partial-path reconstruction (paper section 3.2, the yieldpoint-free
+variant).
+
+PEP as implemented samples the path register only at path *ends* (loop
+headers and method exits), where r is a complete path number.  The paper
+sketches an implementation for systems without thread-switch points: the
+sampler may interrupt anywhere, so it reads a *partial* path number —
+the sum of the edge values taken so far — plus the interrupt location,
+and must recover the partially taken path.  "Conveniently, a partially
+taken path can be identified from the partial path number using the same
+greedy reconstruction algorithm."
+
+:func:`reconstruct_partial` implements that: given the interrupted node
+and the partial register value, it walks greedily from the DAG entry —
+choosing, among edges that can still reach the interrupt node, the
+largest value not exceeding the remainder — and returns the edge prefix.
+
+Why greedy still works: Ball-Larus assigns each node's outgoing edges
+values that partition ``[0, NumPaths(node))`` into disjoint,
+consecutive intervals ordered by edge value; restricting to edges that
+reach the interrupt node preserves the partition property for the
+values that can actually occur, so the largest-fitting edge is the
+unique correct choice.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.cfg.dag import DagEdge, PDag
+from repro.errors import PathReconstructionError
+
+
+def nodes_reaching(dag: PDag, target: str) -> Set[str]:
+    """All nodes from which ``target`` is reachable (including itself)."""
+    if target not in dag.out_edges:
+        raise PathReconstructionError(
+            f"{dag.method_name}: unknown node {target!r}"
+        )
+    preds: Dict[str, List[str]] = {node: [] for node in dag.nodes}
+    for edge in dag.edges:
+        preds[edge.dst].append(edge.src)
+    reached = {target}
+    stack = [target]
+    while stack:
+        node = stack.pop()
+        for pred in preds[node]:
+            if pred not in reached:
+                reached.add(pred)
+                stack.append(pred)
+    return reached
+
+
+def reconstruct_partial(
+    dag: PDag,
+    partial_value: int,
+    at_node: str,
+) -> List[DagEdge]:
+    """Edges of the partial path that accumulated ``partial_value`` and
+    was interrupted at ``at_node``.
+
+    Requires a numbered DAG.  Raises if no entry-to-``at_node`` prefix
+    sums to the given value (an inconsistent register/location pair).
+    """
+    if dag.num_paths <= 0:
+        raise PathReconstructionError(
+            f"{dag.method_name}: DAG has not been numbered"
+        )
+    if partial_value < 0:
+        raise PathReconstructionError(
+            f"{dag.method_name}: negative partial value {partial_value}"
+        )
+    can_reach = nodes_reaching(dag, at_node)
+    if dag.entry not in can_reach:
+        raise PathReconstructionError(
+            f"{dag.method_name}: {at_node!r} unreachable from entry"
+        )
+
+    remaining = partial_value
+    node = dag.entry
+    edges: List[DagEdge] = []
+    while node != at_node:
+        best = None
+        for edge in dag.out_edges[node]:
+            if edge.dst not in can_reach and edge.dst != at_node:
+                continue
+            if edge.value <= remaining and (
+                best is None or edge.value > best.value
+            ):
+                best = edge
+        if best is None:
+            raise PathReconstructionError(
+                f"{dag.method_name}: no viable edge at {node!r} with "
+                f"remaining value {remaining}"
+            )
+        remaining -= best.value
+        edges.append(best)
+        node = best.dst
+    if remaining != 0:
+        raise PathReconstructionError(
+            f"{dag.method_name}: leftover value {remaining} at "
+            f"{at_node!r} — inconsistent partial number"
+        )
+    return edges

@@ -1,0 +1,105 @@
+"""Greedy reconstruction of a path's edges from its path number.
+
+Ball-Larus numbering has the property that, at every node, the outgoing
+edge values are the prefix sums of the successor path counts.  Walking
+from the entry and repeatedly taking the out-edge with the *largest value
+not exceeding* the remaining number therefore recovers exactly the edge
+sequence whose values sum to the path number (paper sections 3.2/3.3).
+
+PEP computes a path's edges only on first sample and caches the result
+(paper section 4.3); :class:`PathResolver` implements that cache.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.bytecode.method import BranchRef
+from repro.cfg.dag import DagEdge, PDag
+from repro.errors import PathReconstructionError
+
+BranchEvent = Tuple[BranchRef, bool]
+
+
+def reconstruct_path(dag: PDag, path_number: int) -> List[DagEdge]:
+    """Return the edge sequence of ``path_number`` in ``dag``.
+
+    Requires that path numbering has been applied (``dag.num_paths`` > 0).
+    """
+    if dag.num_paths <= 0:
+        raise PathReconstructionError(
+            f"{dag.method_name}: DAG has not been numbered"
+        )
+    if not 0 <= path_number < dag.num_paths:
+        raise PathReconstructionError(
+            f"{dag.method_name}: path number {path_number} outside "
+            f"[0, {dag.num_paths})"
+        )
+    remaining = path_number
+    node = dag.entry
+    edges: List[DagEdge] = []
+    while True:
+        outs = dag.out_edges[node]
+        if not outs:
+            break
+        best: Optional[DagEdge] = None
+        for edge in outs:
+            if edge.value <= remaining and (best is None or edge.value > best.value):
+                best = edge
+        if best is None:
+            raise PathReconstructionError(
+                f"{dag.method_name}: no edge at {node!r} with value <= "
+                f"{remaining}"
+            )
+        remaining -= best.value
+        edges.append(best)
+        node = best.dst
+    if remaining != 0:
+        raise PathReconstructionError(
+            f"{dag.method_name}: leftover value {remaining} after reaching "
+            f"{node!r}"
+        )
+    return edges
+
+
+class PathResolver:
+    """Memoising wrapper around :func:`reconstruct_path` for one method.
+
+    Resolves a path number to its *branch events* — the (bytecode branch,
+    taken?) pairs along the path — which is what the edge-profile update
+    needs, plus the path's length in branches for the flow metric.
+    """
+
+    __slots__ = ("dag", "_cache")
+
+    def __init__(self, dag: PDag) -> None:
+        self.dag = dag
+        self._cache: Dict[int, Tuple[List[BranchEvent], int]] = {}
+
+    def is_cached(self, path_number: int) -> bool:
+        """True if this path has been resolved before (cache hit)."""
+        return path_number in self._cache
+
+    def branch_events(self, path_number: int) -> List[BranchEvent]:
+        return self._resolve(path_number)[0]
+
+    def branch_length(self, path_number: int) -> int:
+        """Number of conditional-branch executions along the path (b_p)."""
+        return self._resolve(path_number)[1]
+
+    def cached_count(self) -> int:
+        return len(self._cache)
+
+    def _resolve(self, path_number: int) -> Tuple[List[BranchEvent], int]:
+        hit = self._cache.get(path_number)
+        if hit is not None:
+            return hit
+        edges = reconstruct_path(self.dag, path_number)
+        events: List[BranchEvent] = [
+            (edge.origin, bool(edge.taken))
+            for edge in edges
+            if edge.origin is not None
+        ]
+        entry = (events, len(events))
+        self._cache[path_number] = entry
+        return entry

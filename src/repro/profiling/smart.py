@@ -1,0 +1,61 @@
+"""Smart path numbering (paper figure 4, borrowed from PPP).
+
+Identical to Ball-Larus numbering except each block's outgoing edges are
+visited in *decreasing order of estimated execution frequency*, so the
+hottest outgoing edge of every block gets value 0 — and therefore carries
+no ``r += val`` instrumentation.  If the edge profile is unrepresentative,
+accuracy does not suffer (the numbering is still a bijection); only
+overhead does (paper section 2.2).
+
+``invert=True`` flips the ordering (coldest edge first), implementing the
+section 3.4 ablation where instrumentation lands on *hot* edges instead,
+raising instrumentation overhead from 1.1% to 2.5% in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cfg.dag import DUMMY_ENTRY, DagEdge, PDag
+from repro.profiling.ballarus import assign_ball_larus_values
+from repro.profiling.edges import EdgeProfile
+
+
+def apply_edge_weights(dag: PDag, profile: Optional[EdgeProfile]) -> None:
+    """Estimate each DAG edge's execution frequency from an edge profile.
+
+    * Real branch arms take the profiled (smoothed) taken/not-taken count.
+    * Jump and exit edges inherit weight 1 (their block has a single
+      successor, so ordering never matters).
+    * A dummy ENTRY->loop-body edge stands for "another loop iteration
+      begins"; its weight is the total outgoing weight of the loop body's
+      first block, a cheap estimate of the header's execution count that
+      makes hot loops win the value-0 slot at the method entry node.
+    """
+    for edge in dag.edges:
+        if edge.origin is not None and profile is not None:
+            # +1 smoothing keeps never-seen arms orderable and non-zero.
+            edge.weight = profile.arm_count(edge.origin, bool(edge.taken)) + 1.0
+        else:
+            edge.weight = 1.0
+    for edge in dag.edges:
+        if edge.kind == DUMMY_ENTRY:
+            body_out = dag.out_edges.get(edge.dst, [])
+            edge.weight = sum(e.weight for e in body_out) + 1.0
+
+
+def assign_smart_values(
+    dag: PDag,
+    profile: Optional[EdgeProfile] = None,
+    invert: bool = False,
+) -> int:
+    """Number paths with hottest-edge-first ordering; returns N."""
+    apply_edge_weights(dag, profile)
+
+    sign = 1.0 if invert else -1.0
+
+    def hottest_first(edges: List[DagEdge]) -> List[DagEdge]:
+        # Stable sort: equal weights keep insertion order (determinism).
+        return sorted(edges, key=lambda e: sign * e.weight)
+
+    return assign_ball_larus_values(dag, edge_order=hottest_first)

@@ -1,0 +1,18 @@
+"""Sampling controllers: the yieldpoint-handler strategies.
+
+* :class:`~repro.sampling.arnold_grove.SamplingConfig` — the
+  PEP(SAMPLES, STRIDE) configuration from paper section 4.4;
+* :class:`~repro.sampling.arnold_grove.ArnoldGroveSampler` — regular and
+  *simplified* Arnold-Grove sampling (figure 5), recording path samples
+  and deriving edge-profile updates at PEP sample points;
+* :class:`~repro.sampling.arnold_grove.TimerMethodSampler` — flag-clearing
+  sampler used when only adaptive method sampling is wanted (no PEP).
+"""
+
+from repro.sampling.arnold_grove import (
+    ArnoldGroveSampler,
+    SamplingConfig,
+    TimerMethodSampler,
+)
+
+__all__ = ["ArnoldGroveSampler", "SamplingConfig", "TimerMethodSampler"]

@@ -1,0 +1,196 @@
+"""Arnold-Grove sampling, regular and simplified (paper section 4.4).
+
+Timer-based sampling takes one sample per timer tick, at whichever
+yieldpoint happens to run first after the tick — too few samples, and
+biased toward yieldpoints that align with the timer.  Arnold and Grove fix
+both problems: on each tick they take SAMPLES samples at successive
+yieldpoints (by leaving the flag set) and *stride*, skipping a rotating
+number of yieldpoints, to break the alignment.
+
+The paper's *simplified* variant strides only once per tick — before the
+first sample — because in Jikes RVM skipping a sample costs almost as much
+as taking one, so striding between every sample is a poor
+overhead/accuracy trade-off.
+
+``PEP(SAMPLES, STRIDE)`` from the paper maps to
+``SamplingConfig(samples=SAMPLES, stride=STRIDE)``: e.g. PEP(1,1) is
+timer-based sampling, PEP(64,17) skips 0-16 yieldpoints after a tick and
+then samples 64 consecutive yieldpoints.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ReproError
+from repro.vm.interpreter import CompiledMethod
+from repro.vm.runtime import VirtualMachine
+
+_IDLE = 0
+_STRIDING = 1
+_SAMPLING = 2
+
+
+class SamplingConfig:
+    """A PEP(SAMPLES, STRIDE) sampling configuration."""
+
+    __slots__ = ("samples", "stride", "simplified")
+
+    def __init__(self, samples: int, stride: int, simplified: bool = True) -> None:
+        if samples < 1:
+            raise ReproError(f"SAMPLES must be >= 1, got {samples}")
+        if stride < 1:
+            raise ReproError(f"STRIDE must be >= 1, got {stride}")
+        self.samples = samples
+        self.stride = stride
+        self.simplified = simplified
+
+    @property
+    def name(self) -> str:
+        suffix = "" if self.simplified else ",AG"
+        return f"PEP({self.samples},{self.stride}{suffix})"
+
+    def __repr__(self) -> str:
+        return f"<SamplingConfig {self.name}>"
+
+
+class TimerMethodSampler:
+    """Raise the flag each tick; take no path samples.
+
+    Used by adaptive runs without PEP: the per-tick method sample (handled
+    by the VM's dispatch) still occurs, which is all the adaptive
+    controller needs.
+    """
+
+    def on_tick(self, vm: VirtualMachine) -> None:
+        vm.flag = True
+
+    def on_yieldpoint(
+        self,
+        vm: VirtualMachine,
+        cm: CompiledMethod,
+        path_reg: int,
+        is_sample_point: bool,
+    ) -> float:
+        vm.flag = False
+        return 0.0
+
+
+class ArnoldGroveSampler:
+    """The PEP yieldpoint handler: stride, sample, record, derive edges.
+
+    Path samples are recorded only at *sample points* (header and exit
+    yieldpoints — the locations where full Ball-Larus would run
+    count[r]++); other yieldpoints still consume a sampling opportunity,
+    as in Arnold-Grove's "successive yieldpoints".  Each recorded path is
+    expanded to its branch events to update the edge profile, with the
+    expansion memoised so only a path's first sample pays for it
+    (section 4.3).
+    """
+
+    def __init__(self, config: SamplingConfig, record_paths: bool = True) -> None:
+        self.config = config
+        self.record_paths = record_paths
+        self._state = _IDLE
+        self._skip_left = 0
+        self._samples_left = 0
+        self._rotation = 0
+
+    def reset(self) -> None:
+        self._state = _IDLE
+        self._skip_left = 0
+        self._samples_left = 0
+        self._rotation = 0
+
+    # -- SamplerLike ---------------------------------------------------------
+
+    def on_tick(self, vm: VirtualMachine) -> None:
+        vm.flag = True
+        if self._state != _IDLE:
+            # The previous burst is still draining (very long bursts or
+            # very short tick intervals); let it finish.
+            return
+        skip = self._rotation % self.config.stride
+        self._rotation += 1
+        self._samples_left = self.config.samples
+        if skip > 0:
+            self._state = _STRIDING
+            self._skip_left = skip
+        else:
+            self._state = _SAMPLING
+
+    def on_yieldpoint(
+        self,
+        vm: VirtualMachine,
+        cm: CompiledMethod,
+        path_reg: int,
+        is_sample_point: bool,
+    ) -> float:
+        costs = vm.costs
+        if self._state == _STRIDING:
+            self._skip_left -= 1
+            vm.strides_skipped += 1
+            if self._skip_left == 0:
+                self._state = _SAMPLING
+            return costs.scaled_handler(costs.handler_stride)
+
+        if self._state != _SAMPLING:
+            # Flag raised by someone else (e.g. a method-only tick burst
+            # already drained); nothing for us to do.
+            vm.flag = False
+            return 0.0
+
+        cost = costs.scaled_handler(costs.handler_sample)
+        vm.samples_taken += 1
+        if is_sample_point and self.record_paths:
+            cost += self._record(vm, cm, path_reg)
+
+        self._samples_left -= 1
+        if self._samples_left == 0:
+            self._state = _IDLE
+            vm.flag = False
+        elif not self.config.simplified and self.config.stride > 1:
+            # Regular Arnold-Grove: stride between every pair of samples.
+            self._state = _STRIDING
+            self._skip_left = self.config.stride - 1
+        return cost
+
+    # -- internals ---------------------------------------------------------
+
+    def _record(
+        self, vm: VirtualMachine, cm: CompiledMethod, path_reg: int
+    ) -> float:
+        resolver = cm.resolver
+        if resolver is None:
+            # Method compiled without PEP (e.g. baseline tier): the
+            # yieldpoint cannot deliver a path.
+            return 0.0
+        cost = 0.0
+        first_time = not resolver.is_cached(path_reg)
+        if first_time:
+            cost += vm.costs.scaled_handler(vm.costs.handler_expand_first)
+        vm.path_profile.record(cm.profile_key, path_reg)
+        edge_profile = vm.edge_profile
+        for branch, taken in resolver.branch_events(path_reg):
+            edge_profile.record(branch, taken)
+        return cost
+
+
+def make_sampler(
+    samples: int,
+    stride: int,
+    simplified: bool = True,
+    record_paths: bool = True,
+) -> ArnoldGroveSampler:
+    """Convenience constructor mirroring the paper's PEP(S,K) notation."""
+    return ArnoldGroveSampler(
+        SamplingConfig(samples, stride, simplified=simplified),
+        record_paths=record_paths,
+    )
+
+
+def sampler_for(config: Optional[SamplingConfig]):
+    """Build a sampler from an optional config (None = no sampling)."""
+    if config is None:
+        return None
+    return ArnoldGroveSampler(config)

@@ -1,0 +1,86 @@
+"""Statistics helpers used by the evaluation harness.
+
+The paper reports normalized execution times (min of N trials), geometric
+means over benchmarks, and median accuracies; these helpers implement those
+conventions in one place so every bench applies the same methodology.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    """Plain average; raises on empty input (silent 0.0 hides bugs)."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean, the conventional average for normalized run times."""
+    if not values:
+        raise ValueError("geometric mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def median(values: Sequence[float]) -> float:
+    """Median; the paper uses it for accuracy across trials."""
+    if not values:
+        raise ValueError("median of empty sequence")
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2 == 1:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def weighted_mean(pairs: Iterable[Tuple[float, float]]) -> float:
+    """Mean of (value, weight) pairs, as used by relative overlap."""
+    total_weight = 0.0
+    total = 0.0
+    for value, weight in pairs:
+        total += value * weight
+        total_weight += weight
+    if total_weight == 0.0:
+        raise ValueError("weighted mean with zero total weight")
+    return total / total_weight
+
+
+def normalize(values: Dict[str, float], base: Dict[str, float]) -> Dict[str, float]:
+    """Normalize per-benchmark values to a base configuration.
+
+    Mirrors the paper's figures, where each bar is time(config)/time(Base).
+    """
+    missing = sorted(set(values) - set(base))
+    if missing:
+        raise KeyError(f"no base measurement for: {', '.join(missing)}")
+    result = {}
+    for name, value in values.items():
+        denominator = base[name]
+        if denominator <= 0:
+            raise ValueError(f"non-positive base measurement for {name!r}")
+        result[name] = value / denominator
+    return result
+
+
+def percent(ratio: float) -> str:
+    """Format a ratio (1.012) as a percentage overhead string (+1.2%)."""
+    delta = (ratio - 1.0) * 100.0
+    sign = "+" if delta >= 0 else ""
+    return f"{sign}{delta:.1f}%"
+
+
+def overhead_summary(normalized: Dict[str, float]) -> Tuple[float, float]:
+    """Return (average overhead, max overhead) as fractions.
+
+    The paper quotes e.g. "1.2% average and 4.3% maximum overhead"; this
+    computes those two numbers from normalized run times.
+    """
+    if not normalized:
+        raise ValueError("no measurements")
+    overheads: List[float] = [value - 1.0 for value in normalized.values()]
+    return arithmetic_mean(overheads), max(overheads)

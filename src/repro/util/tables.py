@@ -1,0 +1,84 @@
+"""ASCII rendering of tables and bar-chart figures.
+
+The benchmark harness regenerates each of the paper's figures as text: a
+table of per-benchmark values plus a crude horizontal bar chart, which is
+enough to eyeball the *shape* of a result (who wins, by how much) in a
+terminal or a CI log.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+class AsciiTable:
+    """Accumulates rows and renders them with aligned columns."""
+
+    def __init__(self, headers: Sequence[str]) -> None:
+        if not headers:
+            raise ValueError("a table needs at least one column")
+        self._headers = [str(h) for h in headers]
+        self._rows: List[List[str]] = []
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self._headers):
+            raise ValueError(
+                f"expected {len(self._headers)} cells, got {len(cells)}"
+            )
+        self._rows.append([_format_cell(cell) for cell in cells])
+
+    def render(self) -> str:
+        widths = [len(h) for h in self._headers]
+        for row in self._rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = [_render_row(self._headers, widths)]
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self._rows:
+            lines.append(_render_row(row, widths))
+        return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def _render_row(cells: Sequence[str], widths: Sequence[int]) -> str:
+    padded = []
+    for index, cell in enumerate(cells):
+        if index == 0:
+            padded.append(cell.ljust(widths[index]))
+        else:
+            padded.append(cell.rjust(widths[index]))
+    return " | ".join(padded)
+
+
+def bar_chart(
+    values: Dict[str, float],
+    width: int = 40,
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+    unit: str = "",
+) -> str:
+    """Render a labelled horizontal bar chart of ``values``."""
+    if not values:
+        raise ValueError("no values to chart")
+    low = min(values.values()) if lo is None else lo
+    high = max(values.values()) if hi is None else hi
+    span = high - low or 1.0
+    label_width = max(len(name) for name in values)
+    lines = []
+    for name, value in values.items():
+        filled = int(round((value - low) / span * width))
+        filled = max(0, min(width, filled))
+        bar = "#" * filled + "." * (width - filled)
+        lines.append(f"{name.ljust(label_width)} |{bar}| {value:.3f}{unit}")
+    return "\n".join(lines)
+
+
+def format_figure(title: str, body: str) -> str:
+    """Wrap a rendered table/chart with the figure banner used by benches."""
+    rule = "=" * max(len(title), 8)
+    return f"\n{rule}\n{title}\n{rule}\n{body}\n"

@@ -1,0 +1,22 @@
+"""The virtual machine substrate: interpreter, cost model, runtime.
+
+The paper measures PEP inside Jikes RVM on real hardware; our substitute
+is a bytecode interpreter that charges *virtual cycles* per executed
+instruction (see :mod:`repro.vm.costs` for the model and its calibration
+rationale).  All overhead numbers reported by the benches are ratios of
+virtual-cycle totals, which isolates the quantity the paper reasons about
+— the instrumentation/sampling work mix — from Python's own speed.
+"""
+
+from repro.vm.costs import CostModel
+from repro.vm.interpreter import CompiledMethod, LoweredBlock, lower_method
+from repro.vm.runtime import RunResult, VirtualMachine
+
+__all__ = [
+    "CostModel",
+    "CompiledMethod",
+    "LoweredBlock",
+    "lower_method",
+    "RunResult",
+    "VirtualMachine",
+]

@@ -1,0 +1,32 @@
+"""Synthetic workloads: the guest programs the evaluation runs.
+
+* :mod:`repro.workloads.generator` — random structured programs
+  (terminating by construction) for property tests and stress tests;
+* :mod:`repro.workloads.common` — shared guest-code idioms (guest-level
+  LCG, mixing helpers);
+* :mod:`repro.workloads.specjvm` / :mod:`repro.workloads.dacapo` —
+  synthetic stand-ins for the paper's SPEC JVM98, pseudojbb, and DaCapo
+  benchmarks, matching their control-flow *character* (see DESIGN.md);
+* :mod:`repro.workloads.suite` — the named benchmark suite used by the
+  benches.
+"""
+
+from repro.workloads.generator import GeneratorSpec, random_program
+
+__all__ = [
+    "GeneratorSpec",
+    "random_program",
+    "Workload",
+    "benchmark_suite",
+    "get_workload",
+]
+
+
+def __getattr__(name):
+    # The suite pulls in every benchmark module; import it lazily so that
+    # light-weight users (and the generator-only tests) stay fast.
+    if name in ("Workload", "benchmark_suite", "get_workload"):
+        from repro.workloads import suite
+
+        return getattr(suite, name)
+    raise AttributeError(name)

@@ -1,0 +1,478 @@
+"""Synthetic DaCapo (2004-era) stand-ins.
+
+The paper uses the DaCapo benchmarks that ran on Jikes RVM at the time
+(antlr, bloat, fop, pmd, ps, xalan), omitting hsqldb — which we also omit.
+As with :mod:`repro.workloads.specjvm`, each builder matches the
+original's control-flow character, not its computation, and follows the
+same chunked-driver structure and calibration conventions (see that
+module's docstring).
+
+bloat and xalan carry *phase drift*: specific bytecode branches whose
+bias flips partway through the run, the behaviour one-time profiling
+cannot capture (paper section 6.5).
+"""
+
+from __future__ import annotations
+
+from repro.bytecode.builder import ProgramBuilder
+from repro.bytecode.method import Program
+from repro.workloads.common import (
+    branchy_segment,
+    hash_step,
+    lcg_bits,
+    lcg_byte,
+    mix_kernel,
+)
+from repro.workloads.specjvm import CHUNKS, _per_chunk
+
+
+def build_antlr(scale: float = 1.0) -> Program:
+    """Parser generator: grammar-walking recursion over rule 'alternatives'."""
+    pb = ProgramBuilder("antlr")
+
+    walk = pb.function("walk_rule", ["depth", "seed"])
+    depth = walk.p("depth")
+    seed = walk.p("seed")
+    cost = walk.local(0)
+
+    def expand():
+        mixed = (seed * 2654435761) & ((1 << 31) - 1)
+        n_alts = (mixed >> 9) & 3
+
+        def per_alt(k):
+            child = walk.call("walk_rule", depth - 1, (mixed + k * 7) & 0xFFFF)
+            # Semantic-predicate evaluation on the alternative.
+            walk.assign(cost, (cost + child) & 0xFFFFF)
+            walk.assign(cost, (cost * 33 + (child >> 5)) & 0xFFFFF)
+            walk.assign(cost, (cost ^ (cost >> 9)) & 0xFFFFF)
+            walk.assign(cost, (cost + (child & 127)) & 0xFFFFF)
+            walk.assign(cost, (cost * 5 + 11) & 0xFFFFF)
+            walk.assign(cost, (cost ^ (child << 2)) & 0xFFFFF)
+            # Left-factoring check: biased by alternative shape.
+            walk.if_(
+                (child & 31) < 26,
+                lambda c=child: walk.assign(cost, (cost + (c >> 3)) & 0xFFFFF),
+            )
+
+        walk.for_range(0, n_alts + 1, 1, per_alt)
+
+    def leaf():
+        walk.assign(cost, ((seed * 7) & 127) + ((seed >> 6) & 31))
+        walk.assign(cost, (cost + (seed & 15)) & 0xFFFF)
+
+    walk.if_(depth < 1, leaf, expand)
+    walk.ret(cost)
+
+    w = pb.function("antlr_chunk", ["g"])
+    g = w.p("g")
+    state = w.load(g, 0)
+    table = w.load(g, 1)
+
+    def per_grammar(_j):
+        seed = lcg_bits(w, state, 16)
+        w.assign(table, (table + w.call("walk_rule", 4, seed)) & 0xFFFFF)
+
+        # Token-table construction, unrolled in chunks of four entries.
+        def token_chunk(i):
+            hash_step(w, table, i + seed)
+            hash_step(w, table, i + 1)
+            hash_step(w, table, i + 2)
+            hash_step(w, table, i + 3)
+
+        w.for_range(0, 24, 4, token_chunk)
+        branchy_segment(w, state, table, biases=(68, 92, 57, 49, 76))
+        branchy_segment(w, state, table, biases=(62, 81))
+
+    w.for_range(0, _per_chunk(46, scale), 1, per_grammar)
+    w.store(g, 0, state)
+    w.store(g, 1, table)
+    w.ret()
+
+    f = pb.function("main")
+    g_main = f.array(f.const(2))
+    f.store(g_main, 0, 6060)
+    f.for_range(0, CHUNKS, 1, lambda _b: f.call_void("antlr_chunk", g_main))
+    result = f.load(g_main, 1)
+    f.emit(result)
+    f.ret(result)
+    return pb.build()
+
+
+def build_bloat(scale: float = 1.0) -> Program:
+    """Bytecode optimizer: phased worklist processing.
+
+    A short analysis phase (the first third of the chunks, during which
+    the one-time profile is collected) is followed by a long
+    transformation phase.  Three hot bytecode branches compare against a
+    per-phase threshold, so their biases genuinely flip — the suite's
+    clearest phased workload, where one-time profiles mislay the hot
+    branches for two thirds of the run (paper section 6.5).
+    """
+    pb = ProgramBuilder("bloat")
+
+    analyze = pb.function("analyze", ["item"])
+    item = analyze.p("item")
+    facts = analyze.local(0)
+    for round_index in range(4):
+        analyze.assign(facts, (facts + item * 3 + round_index) & 0xFFFF)
+    analyze.if_(
+        (facts & 63) < 50,
+        lambda: analyze.ret(facts),
+        lambda: analyze.ret(facts >> 1),
+    )
+
+    transform = pb.function("transform", ["item"])
+    t_item = transform.p("item")
+    transform.if_(
+        (t_item & 7) < 5,
+        lambda: transform.ret((t_item * 9 + 1) & 0xFFFF),
+        lambda: transform.ret(t_item >> 1),
+    )
+
+    w = pb.function("bloat_chunk", ["g", "chunk"])
+    g = w.p("g")
+    chunk = w.p("chunk")
+    state = w.load(g, 0)
+    work = w.load(g, 1)
+
+    # Per-phase threshold: ~88% in analysis, ~12% in transformation.
+    thr = w.local(0)
+    w.if_(
+        chunk < CHUNKS // 3,
+        lambda: w.assign(thr, 225),
+        lambda: w.assign(thr, 30),
+    )
+
+    def per_item(_j):
+        payload = lcg_bits(w, state, 12)
+        byte0 = lcg_byte(w, state)
+        w.if_(
+            byte0 < thr,
+            lambda: w.assign(work, (work + w.call("analyze", payload)) & 0xFFFFF),
+            lambda: w.assign(work, (work + w.call("transform", payload)) & 0xFFFFF),
+        )
+        # Two more phase-drifting decisions (worklist reorder, cache probe).
+        byte1 = lcg_byte(w, state)
+        w.if_(
+            byte1 < thr,
+            lambda: w.assign(work, (work + (byte1 << 2)) & 0xFFFFF),
+            lambda: w.assign(work, (work ^ (byte1 * 13)) & 0xFFFFF),
+        )
+        byte2 = lcg_byte(w, state)
+        w.if_(
+            byte2 < thr,
+            lambda: w.assign(work, (work * 3 + byte2) & 0xFFFFF),
+            lambda: w.assign(work, (work + (byte2 >> 2)) & 0xFFFFF),
+        )
+        branchy_segment(w, state, work, biases=(77, 58, 91, 49))
+        branchy_segment(w, state, work, biases=(69, 54, 83))
+
+    w.for_range(0, _per_chunk(1300, scale), 1, per_item)
+    w.store(g, 0, state)
+    w.store(g, 1, work)
+    w.ret()
+
+    f = pb.function("main")
+    g_main = f.array(f.const(2))
+    f.store(g_main, 0, 808)
+    f.for_range(0, CHUNKS, 1, lambda b: f.call_void("bloat_chunk", g_main, b))
+    result = f.load(g_main, 1)
+    f.emit(result)
+    f.ret(result)
+    return pb.build()
+
+
+def build_fop(scale: float = 1.0) -> Program:
+    """XSL-FO formatter: layout-tree recursion plus line-breaking loops."""
+    pb = ProgramBuilder("fop")
+
+    layout = pb.function("layout", ["depth", "width"])
+    depth = layout.p("depth")
+    width = layout.p("width")
+    height = layout.local(0)
+
+    def compose():
+        kids = (width & 3) + 1
+
+        def child(k):
+            h = layout.call("layout", depth - 1, (width * 5 + k) & 1023)
+            # Area accounting: margins, padding, rounding.
+            layout.assign(height, (height + h) & 0xFFFF)
+            layout.assign(height, (height * 3 + (h >> 4)) & 0xFFFF)
+            layout.assign(height, (height ^ (height >> 6)) & 0xFFFF)
+            layout.assign(height, (height + (h & 31)) & 0xFFFF)
+            layout.assign(height, (height * 7 + 5) & 0xFFFF)
+            layout.assign(height, (height ^ (h >> 2)) & 0xFFFF)
+            layout.assign(height, (height + (width & 63)) & 0xFFFF)
+            # Keep-together constraint: rarely triggers a re-layout cost.
+            layout.if_(
+                (h & 127).eq(0),
+                lambda hh=h: layout.assign(height, (height + hh) & 0xFFFF),
+            )
+
+        layout.for_range(0, kids, 1, child)
+
+    layout.if_(depth < 1, lambda: layout.assign(height, width & 31), compose)
+    layout.ret(height)
+
+    breakline = pb.function("break_line", ["text"])
+    text = breakline.p("text")
+    pos = breakline.local(0)
+    breaks = breakline.local(0)
+    badness = breakline.local(0)
+
+    def scan():
+        # Candidate-break evaluation: realistic per-candidate weight.
+        width = (text >> (pos & 7)) & 7
+        breakline.assign(badness, (badness + width * width) & 0xFFFF)
+        breakline.assign(pos, pos + width + 1)
+
+        def emit_break():
+            breakline.assign(breaks, breaks + 1)
+            breakline.assign(badness, 0)
+
+        breakline.if_(
+            badness > 40,
+            emit_break,
+            lambda: breakline.assign(badness, badness + 1),
+        )
+
+    breakline.while_(lambda: pos < 60, scan)
+    breakline.ret(breaks)
+
+    w = pb.function("fop_chunk", ["g"])
+    g = w.p("g")
+    state = w.load(g, 0)
+    page = w.load(g, 1)
+
+    def per_page(_j):
+        seed = lcg_bits(w, state, 10)
+        w.assign(page, (page + w.call("layout", 3, seed)) & 0xFFFFF)
+        w.assign(page, (page + w.call("break_line", seed ^ 85)) & 0xFFFFF)
+        branchy_segment(w, state, page, biases=(83, 64, 55, 71))
+        branchy_segment(w, state, page, biases=(60, 78))
+
+    w.for_range(0, _per_chunk(130, scale), 1, per_page)
+    w.store(g, 0, state)
+    w.store(g, 1, page)
+    w.ret()
+
+    f = pb.function("main")
+    g_main = f.array(f.const(2))
+    f.store(g_main, 0, 404)
+    f.for_range(0, CHUNKS, 1, lambda _b: f.call_void("fop_chunk", g_main))
+    result = f.load(g_main, 1)
+    f.emit(result)
+    f.ret(result)
+    return pb.build()
+
+
+def build_pmd(scale: float = 1.0) -> Program:
+    """Source analyzer: visitor dispatch with rare-hit rule branches."""
+    pb = ProgramBuilder("pmd")
+
+    checks = []
+    for index, hit_rate in enumerate([2, 5, 1, 8, 3]):
+        name = f"check{index}"
+        c = pb.function(name, ["node"])
+        node = c.p("node")
+        threshold = (hit_rate * 1024) // 100
+        # Node inspection arithmetic before the verdict.
+        score = c.local(0)
+        c.assign(score, ((node * 31) ^ (node >> 7)) & 1023)
+        c.if_(
+            score < threshold,
+            lambda cc=c, nn=node: cc.ret((nn & 63) + 1),  # violation: rare
+            lambda cc=c: cc.ret(0),
+        )
+        checks.append(name)
+
+    w = pb.function("pmd_chunk", ["g"])
+    g = w.p("g")
+    state = w.load(g, 0)
+    violations = w.load(g, 1)
+
+    def visit(_j):
+        node = lcg_bits(w, state, 14)
+        for name in checks:
+            found = w.call(name, node)
+            w.if_(
+                found > 0,
+                lambda fv=found: w.assign(
+                    violations, (violations + fv) & 0xFFFFF
+                ),
+            )
+        branchy_segment(w, state, violations, biases=(94, 62, 71, 58))
+        branchy_segment(w, state, violations, biases=(66, 81, 52))
+
+    w.for_range(0, _per_chunk(800, scale), 1, visit)
+    w.store(g, 0, state)
+    w.store(g, 1, violations)
+    w.ret()
+
+    f = pb.function("main")
+    g_main = f.array(f.const(2))
+    f.store(g_main, 0, 5150)
+    f.for_range(0, CHUNKS, 1, lambda _b: f.call_void("pmd_chunk", g_main))
+    result = f.load(g_main, 1)
+    f.emit(result)
+    f.ret(result)
+    return pb.build()
+
+
+def build_ps(scale: float = 1.0) -> Program:
+    """PostScript interpreter: opcode-dispatch loop over a guest stack."""
+    pb = ProgramBuilder("ps")
+
+    w = pb.function("ps_chunk", ["g", "stack"])
+    g = w.p("g")
+    stack = w.p("stack")
+    state = w.load(g, 0)
+    sp = w.load(g, 1)
+    drawn = w.load(g, 2)
+
+    def guard_push(value):
+        def push():
+            w.store(stack, sp, value)
+            w.assign(sp, sp + 1)
+
+        w.if_(sp < 63, push)
+
+    def per_op(_j):
+        opcode = lcg_byte(w, state)
+        kind = opcode & 7
+
+        def op_push():
+            guard_push((opcode * 3) & 0xFFF)
+
+        def op_pop():
+            w.if_(sp > 0, lambda: w.assign(sp, sp - 1))
+
+        def op_add():
+            def enough():
+                a = w.load(stack, sp - 1)
+                b = w.load(stack, sp - 2)
+                w.store(stack, sp - 2, (a + b) & 0xFFFF)
+                w.assign(sp, sp - 1)
+
+            w.if_(sp > 1, enough)
+
+        def op_draw():
+            def enough():
+                top = w.load(stack, sp - 1)
+                w.assign(drawn, (drawn + top * 3) & 0xFFFFF)
+
+            w.if_(sp > 0, enough)
+
+        w.switch_(
+            kind,
+            {0: op_push, 1: op_push, 2: op_push, 3: op_pop, 4: op_add,
+             5: op_add},
+            default=op_draw,
+        )
+        branchy_segment(w, state, drawn, biases=(74, 52, 88, 66))
+        branchy_segment(w, state, drawn, biases=(59, 79, 48))
+
+    w.for_range(0, _per_chunk(1600, scale), 1, per_op)
+    w.store(g, 0, state)
+    w.store(g, 1, sp)
+    w.store(g, 2, drawn)
+    w.ret()
+
+    f = pb.function("main")
+    g_main = f.array(f.const(3))
+    f.store(g_main, 0, 7777)
+    stack_main = f.array(f.const(64))
+    f.for_range(
+        0, CHUNKS, 1, lambda _b: f.call_void("ps_chunk", g_main, stack_main)
+    )
+    result = f.load(g_main, 2)
+    f.emit(result)
+    f.ret(result)
+    return pb.build()
+
+
+def build_xalan(scale: float = 1.0) -> Program:
+    """XSLT processor: template matching with string-hash comparisons.
+
+    Carries mild phase drift: the output-escaping branch flips bias once
+    the document switches from markup-heavy to text-heavy content.
+    """
+    pb = ProgramBuilder("xalan")
+
+    match = pb.function("match_template", ["node"])
+    node = match.p("node")
+    hashed = match.local(0)
+    match.assign(hashed, node)
+    # Four hash rounds, unrolled (string hashing straight-lined by the JIT).
+    for round_index in range(4):
+        hash_step(match, hashed, node + round_index)
+    # Three-way template priority chain, biased toward the first.
+    match.if_(
+        (hashed & 15) < 9,
+        lambda: match.ret(1),
+        lambda: match.if_(
+            (hashed & 15) < 13,
+            lambda: match.ret(2),
+            lambda: match.ret(3),
+        ),
+    )
+
+    apply_t = pb.function("apply_template", ["which", "node"])
+    which = apply_t.p("which")
+    a_node = apply_t.p("node")
+    out = apply_t.local(0)
+
+    def t1():
+        for k in range(6):
+            apply_t.assign(out, (out + a_node + k) & 0xFFFF)
+
+    def t2():
+        apply_t.assign(out, (a_node * 17) & 0xFFFF)
+
+    def t3():
+        mix_kernel(apply_t, out, a_node, rounds=2)
+
+    apply_t.switch_(which, {1: t1, 2: t2}, default=t3)
+    apply_t.ret(out)
+
+    w = pb.function("xalan_chunk", ["g", "chunk"])
+    g = w.p("g")
+    chunk = w.p("chunk")
+    state = w.load(g, 0)
+    doc = w.load(g, 1)
+
+    esc_thr = w.local(0)
+    w.if_(
+        chunk < (CHUNKS * 2) // 5,
+        lambda: w.assign(esc_thr, 200),
+        lambda: w.assign(esc_thr, 70),
+    )
+
+    def per_node(_j):
+        node = lcg_bits(w, state, 13)
+        which = w.call("match_template", node)
+        w.assign(doc, (doc + w.call("apply_template", which, node)) & 0xFFFFF)
+        # Output-escaping decision whose bias drifts with document content.
+        esc = lcg_byte(w, state)
+        w.if_(
+            esc < esc_thr,
+            lambda: w.assign(doc, (doc + esc) & 0xFFFFF),
+            lambda: w.assign(doc, (doc ^ (esc << 1)) & 0xFFFFF),
+        )
+        branchy_segment(w, state, doc, biases=(86, 47, 69, 59, 80))
+        branchy_segment(w, state, doc, biases=(63, 74))
+
+    w.for_range(0, _per_chunk(900, scale), 1, per_node)
+    w.store(g, 0, state)
+    w.store(g, 1, doc)
+    w.ret()
+
+    f = pb.function("main")
+    g_main = f.array(f.const(2))
+    f.store(g_main, 0, 1999)
+    f.for_range(0, CHUNKS, 1, lambda b: f.call_void("xalan_chunk", g_main, b))
+    result = f.load(g_main, 1)
+    f.emit(result)
+    f.ret(result)
+    return pb.build()

@@ -1,0 +1,191 @@
+"""Random structured guest programs.
+
+Programs are generated through :class:`~repro.bytecode.builder.ProgramBuilder`
+so control flow is always reducible, and every loop is a counted
+``for_range`` with bounded trip counts, so every generated program
+terminates by construction.  Branch conditions mix loop counters with a
+guest-level LCG state, giving data-dependent, biased branches — the things
+path and edge profilers exist to measure.
+
+Used by property-based tests (instrumentation must never change program
+semantics; perfect path profiles must expand to perfect edge profiles) and
+by stress tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.bytecode.builder import FunctionBuilder, ProgramBuilder, Value
+from repro.bytecode.method import Program
+from repro.errors import WorkloadError
+from repro.util.rng import DeterministicRng
+
+
+class GeneratorSpec:
+    """Shape parameters for random program generation."""
+
+    __slots__ = (
+        "n_helpers",
+        "max_depth",
+        "max_stmts",
+        "max_trip",
+        "work_budget",
+        "uninterruptible_chance",
+    )
+
+    def __init__(
+        self,
+        n_helpers: int = 2,
+        max_depth: int = 3,
+        max_stmts: int = 5,
+        max_trip: int = 6,
+        work_budget: int = 4000,
+        uninterruptible_chance: float = 0.0,
+    ) -> None:
+        if n_helpers < 0 or max_depth < 1 or max_stmts < 1 or max_trip < 1:
+            raise WorkloadError("generator spec parameters must be positive")
+        self.n_helpers = n_helpers
+        self.max_depth = max_depth
+        self.max_stmts = max_stmts
+        self.max_trip = max_trip
+        self.work_budget = work_budget
+        self.uninterruptible_chance = uninterruptible_chance
+
+
+class _FunctionGenerator:
+    """Emits one random function body into a FunctionBuilder."""
+
+    def __init__(
+        self,
+        f: FunctionBuilder,
+        rng: DeterministicRng,
+        spec: GeneratorSpec,
+        callees: List[str],
+    ) -> None:
+        self.f = f
+        self.rng = rng
+        self.spec = spec
+        self.callees = callees
+        self.locals: List[Value] = []
+        self.lcg = f.local(rng.randint(1, 1 << 20))
+        self.work = spec.work_budget
+
+    def seed_locals(self, extra: List[Value]) -> None:
+        f = self.f
+        self.locals = list(extra)
+        for _ in range(3):
+            self.locals.append(f.local(self.rng.randint(0, 50)))
+
+    def _advance_lcg(self) -> Value:
+        f = self.f
+        # 31-bit LCG computed in guest code: data-dependent branch fuel.
+        new = ((self.lcg * 1103515245) + 12345) & ((1 << 31) - 1)
+        f.assign(self.lcg, new)
+        return new
+
+    def _operand(self) -> Value:
+        return self.rng.choice(self.locals)
+
+    def gen_block(self, depth: int) -> None:
+        n = self.rng.randint(1, self.spec.max_stmts)
+        for _ in range(n):
+            self.gen_stmt(depth)
+
+    def gen_stmt(self, depth: int) -> None:
+        rng = self.rng
+        roll = rng.random()
+        if depth < self.spec.max_depth and roll < 0.25 and self.work > 4:
+            self.gen_if(depth)
+        elif depth < self.spec.max_depth and roll < 0.40 and self.work > 16:
+            self.gen_loop(depth)
+        elif self.callees and roll < 0.50:
+            self.gen_call()
+        else:
+            self.gen_arith()
+
+    def gen_arith(self) -> None:
+        f = self.f
+        target = self.rng.choice(self.locals)
+        a = self._operand()
+        kind = self.rng.randint(0, 4)
+        if kind == 0:
+            f.assign(target, a + self.rng.randint(1, 9))
+        elif kind == 1:
+            f.assign(target, a * 3 + 1)
+        elif kind == 2:
+            f.assign(target, (a ^ self._operand()) & 1023)
+        elif kind == 3:
+            f.assign(target, (a - self._operand()) & 255)
+        else:
+            mixed = self._advance_lcg()
+            f.assign(target, (mixed >> 7) & 127)
+
+    def gen_call(self) -> None:
+        f = self.f
+        callee = self.rng.choice(self.callees)
+        result = f.call(callee, self._operand())
+        f.assign(self.rng.choice(self.locals), result)
+
+    def gen_if(self, depth: int) -> None:
+        f = self.f
+        rng = self.rng
+        mixed = self._advance_lcg()
+        # Biased condition: compare a pseudo-random byte to a threshold.
+        threshold = rng.randint(16, 240)
+        byte = (mixed >> 8) & 255
+
+        def then_body() -> None:
+            self.gen_block(depth + 1)
+
+        if rng.chance(0.5):
+            f.if_(byte < threshold, then_body)
+        else:
+            f.if_(
+                byte < threshold,
+                then_body,
+                lambda: self.gen_block(depth + 1),
+            )
+
+    def gen_loop(self, depth: int) -> None:
+        f = self.f
+        trip = self.rng.randint(1, self.spec.max_trip)
+        if trip > self.work:
+            trip = 1
+        self.work //= trip if trip > 0 else 1
+
+        def body(_i: Value) -> None:
+            self.gen_block(depth + 1)
+
+        f.for_range(0, trip, 1, body)
+
+
+def random_program(
+    seed: int,
+    spec: Optional[GeneratorSpec] = None,
+    name: Optional[str] = None,
+) -> Program:
+    """Generate a random, terminating, reducible guest program."""
+    spec = spec or GeneratorSpec()
+    rng = DeterministicRng(seed)
+    pb = ProgramBuilder(name or f"random_{seed}")
+
+    helper_names: List[str] = []
+    for index in range(spec.n_helpers):
+        helper_name = f"helper{index}"
+        uninterruptible = rng.chance(spec.uninterruptible_chance)
+        hf = pb.function(helper_name, ["n"], uninterruptible=uninterruptible)
+        gen = _FunctionGenerator(hf, rng.split(index + 1), spec, helper_names[:])
+        gen.seed_locals([hf.p("n")])
+        gen.gen_block(depth=1)
+        hf.ret(gen.locals[0])
+        helper_names.append(helper_name)
+
+    mf = pb.function("main")
+    gen = _FunctionGenerator(mf, rng.split(0), spec, helper_names)
+    gen.seed_locals([])
+    gen.gen_block(depth=0)
+    for value in gen.locals:
+        mf.emit(value)
+    mf.ret(gen.locals[0])
+    return pb.build()

@@ -1,0 +1,632 @@
+"""Synthetic SPEC JVM98 + pseudojbb stand-ins.
+
+Each builder produces a guest program whose *control-flow character*
+matches the original benchmark: loop intensity, call depth, branch bias
+distribution, number of distinct hot paths, and (where relevant) phased
+behaviour.  Absolute work is set by ``scale``; at scale 1.0 a run costs
+a few hundred thousand virtual cycles.
+
+Structure: every workload is a **chunked driver** — ``main`` allocates a
+small "globals" array plus any data tables and then calls a
+``<name>_chunk`` worker method a few dozen times.  The hot loops live in
+the worker, so the adaptive system's recompilation (which takes effect at
+the next method invocation; our VM has no on-stack replacement) actually
+reaches the hot code after a few chunks, exactly as real harnessed
+benchmarks behave under Jikes RVM.
+
+Calibration conventions (see DESIGN.md):
+
+* hot-loop bodies are ~50-150 virtual cycles with roughly one conditional
+  branch per 25 cycles;
+* very short helper loops are emitted straight-line (builder-level
+  unrolling), as the optimizing compiler would;
+* each hot region contains several independent biased branches
+  (``branchy_segment``) so the suite exposes hundreds of distinct paths
+  with a long-tail frequency distribution;
+* phase drift (jack) is expressed through *the same bytecode branch*
+  changing bias over chunks, which is what one-time profiling misses.
+"""
+
+from __future__ import annotations
+
+from repro.bytecode.builder import ProgramBuilder
+from repro.bytecode.method import Program
+from repro.workloads.common import (
+    biased_flag,
+    branchy_segment,
+    hash_step,
+    lcg_bits,
+    lcg_byte,
+    mix_kernel,
+)
+
+CHUNKS = 32  # worker invocations per run; recompilation lands in the first few
+
+
+def _per_chunk(base: int, scale: float) -> int:
+    return max(1, int(base * scale) // CHUNKS)
+
+
+def build_compress(scale: float = 1.0) -> Program:
+    """LZW-style compressor: one hot, tight-ish inner loop.
+
+    The tightest loop in the suite — the benchmark family where
+    per-iteration instrumentation cost shows up most (compress has the
+    paper's highest PEP overheads).
+    """
+    pb = ProgramBuilder("compress")
+    inner_iters = _per_chunk(24 * 200, scale)
+
+    w = pb.function("compress_chunk", ["g", "table"])
+    g = w.p("g")
+    table = w.p("table")
+    state = w.load(g, 0)
+    h = w.load(g, 1)
+    out = w.load(g, 2)
+    run_len = w.load(g, 3)
+
+    def inner(_j):
+        byte = lcg_byte(w, state)
+        hash_step(w, h, byte)
+        slot = h & 511
+        entry = w.load(table, slot)
+
+        def hit():
+            # Common case: extend the current run.
+            w.assign(run_len, run_len + 1)
+            w.assign(out, (out + byte) & 0xFFFFF)
+
+        def miss():
+            # Rare: emit the run, reset, store the new entry.
+            w.store(table, slot, byte)
+            w.assign(out, (out + run_len * 3) & 0xFFFFF)
+            w.assign(run_len, 0)
+
+        w.if_(entry.eq(byte), hit, miss)
+
+        # Literal-vs-copy coding decision: moderately biased.
+        w.if_(
+            (byte & 3).eq(0),
+            lambda: w.assign(out, (out + (byte << 2)) & 0xFFFFF),
+            lambda: w.assign(out, (out ^ byte) & 0xFFFFF),
+        )
+
+        def flush():
+            # Dictionary-full flush: very rare, second-order path.
+            w.assign(run_len, 0)
+            w.assign(h, 0)
+
+        w.if_(run_len > 200, flush)
+
+    w.for_range(0, inner_iters, 1, inner)
+    branchy_segment(w, state, out, biases=(75, 40, 58))
+    w.assign(out, (out ^ (out >> 5)) & 0xFFFFF)
+    w.store(g, 0, state)
+    w.store(g, 1, h)
+    w.store(g, 2, out)
+    w.store(g, 3, run_len)
+    w.ret()
+
+    f = pb.function("main")
+    g_main = f.array(f.const(4))
+    f.store(g_main, 0, 12345)
+    table_main = f.array(f.const(512))
+    f.for_range(
+        0, CHUNKS, 1, lambda _b: f.call_void("compress_chunk", g_main, table_main)
+    )
+    result = f.load(g_main, 2)
+    f.emit(result)
+    f.ret(result)
+    return pb.build()
+
+
+def build_jess(scale: float = 1.0) -> Program:
+    """Rule engine: a dispatch loop firing many small rule methods."""
+    pb = ProgramBuilder("jess")
+
+    rules = []
+    for index, (bias, weight) in enumerate(
+        [(85, 3), (40, 2), (95, 4), (15, 1), (60, 2), (75, 3)]
+    ):
+        name = f"rule{index}"
+        r = pb.function(name, ["fact"])
+        fact = r.p("fact")
+        score = r.local(0)
+        # Pattern-match body: a couple of tests plus real arithmetic.
+        r.assign(score, (fact * 2654435761) & 0xFFFFF)
+        r.if_(
+            (fact & 255) < (bias * 256) // 100,
+            lambda s=score, rr=r, ff=fact, wt=weight: rr.assign(
+                s, (s + ff * wt + 1) & 0xFFFFF
+            ),
+            lambda s=score, rr=r, ff=fact: rr.assign(s, (s + (ff >> 2)) & 0xFFFFF),
+        )
+        r.if_(
+            (score & 1023) > 900,
+            lambda rr=r, s=score: rr.assign(s, s - 900),
+        )
+        r.ret(score)
+        rules.append(name)
+
+    w = pb.function("jess_chunk", ["g"])
+    g = w.p("g")
+    state = w.load(g, 0)
+    agenda = w.load(g, 1)
+
+    def fire(_j):
+        fact = lcg_bits(w, state, 12)
+        selector = fact & 7
+        cases = {}
+        for case_index, rule_name in enumerate(rules):
+            cases[case_index] = (
+                lambda rn=rule_name, fv=fact: w.assign(
+                    agenda, (agenda + w.call(rn, fv)) & 0xFFFFF
+                )
+            )
+        w.switch_(selector, cases, default=lambda: w.assign(agenda, agenda + 1))
+        branchy_segment(w, state, agenda, biases=(70, 88, 35, 55))
+        mix_kernel(w, agenda, fact, rounds=2)
+        branchy_segment(w, state, agenda, biases=(64, 79, 46))
+
+    w.for_range(0, _per_chunk(1500, scale), 1, fire)
+    w.store(g, 0, state)
+    w.store(g, 1, agenda)
+    w.ret()
+
+    f = pb.function("main")
+    g_main = f.array(f.const(2))
+    f.store(g_main, 0, 777)
+    f.for_range(0, CHUNKS, 1, lambda _b: f.call_void("jess_chunk", g_main))
+    result = f.load(g_main, 1)
+    f.emit(result)
+    f.ret(result)
+    return pb.build()
+
+
+def build_db(scale: float = 1.0) -> Program:
+    """In-memory database: binary searches + occasional updates."""
+    pb = ProgramBuilder("db")
+
+    lookup = pb.function("lookup", ["key"])
+    key = lookup.p("key")
+    lo = lookup.local(0)
+    hi = lookup.local(1024)
+    probes = lookup.local(0)
+    sig = lookup.local(0)
+
+    def search():
+        mid = (lo + hi) >> 1
+        # Key comparison includes a signature computation, as string-keyed
+        # comparisons would; keeps the probe body realistically weighted.
+        lookup.assign(sig, ((mid * 31) ^ key) & 0xFFFF)
+        lookup.assign(sig, (sig * 33 + (key >> 4)) & 0xFFFF)
+        lookup.assign(sig, (sig ^ (sig >> 7)) & 0xFFFF)
+        entry = mid * 4
+        lookup.if_(
+            entry < key,
+            lambda: lookup.assign(lo, mid + 1),
+            lambda: lookup.assign(hi, mid),
+        )
+        lookup.assign(probes, (probes + (sig & 7) + 1) & 0xFFFF)
+
+    lookup.while_(lambda: lo < hi, search)
+    lookup.ret(lo + probes)
+
+    w = pb.function("db_chunk", ["g", "records"])
+    g = w.p("g")
+    records = w.p("records")
+    state = w.load(g, 0)
+    checksum = w.load(g, 1)
+
+    def txn(_j):
+        want = lcg_bits(w, state, 12)
+        found = w.call("lookup", want)
+        w.assign(checksum, (checksum + found) & 0xFFFFF)
+
+        def update():
+            slot = found & 255
+            old = w.load(records, slot)
+            w.store(records, slot, (old + want) & 1023)
+
+        # 20% of operations are updates, the rest read-only.
+        flag = biased_flag(w, state, 20)
+        w.if_(flag.eq(1), update)
+        branchy_segment(w, state, checksum, biases=(65, 90, 44, 57, 78))
+        branchy_segment(w, state, checksum, biases=(71, 53, 86))
+
+    w.for_range(0, _per_chunk(700, scale), 1, txn)
+    w.store(g, 0, state)
+    w.store(g, 1, checksum)
+    w.ret()
+
+    f = pb.function("main")
+    g_main = f.array(f.const(2))
+    f.store(g_main, 0, 424242)
+    records_main = f.array(f.const(256))
+    seed = f.local(9)
+
+    def fill(i):
+        f.assign(seed, (seed * 1103515245 + 12345) & ((1 << 31) - 1))
+        value = (seed >> 16) & 1023
+        f.store(records_main, i, value)
+        f.store(records_main, i + 1, (value * 3) & 1023)
+        f.store(records_main, i + 2, (value ^ 85) & 1023)
+        f.store(records_main, i + 3, (value + 7) & 1023)
+
+    f.for_range(0, 256, 4, fill)
+    f.for_range(
+        0, CHUNKS, 1, lambda _b: f.call_void("db_chunk", g_main, records_main)
+    )
+    result = f.load(g_main, 1)
+    f.emit(result)
+    f.ret(result)
+    return pb.build()
+
+
+def build_javac(scale: float = 1.0) -> Program:
+    """Compiler: token-kind dispatch with recursion, many distinct paths."""
+    pb = ProgramBuilder("javac")
+
+    # Recursive "expression parser" descending a synthetic token stream.
+    parse = pb.function("parse_expr", ["depth", "seed"])
+    depth = parse.p("depth")
+    seed = parse.p("seed")
+    acc = parse.local(0)
+
+    def deeper():
+        tok = (seed * 2654435761) & ((1 << 31) - 1)
+        kind = (tok >> 12) & 3
+
+        def binary():
+            left = parse.call("parse_expr", depth - 1, tok & 0xFFFF)
+            right = parse.call("parse_expr", depth - 1, (tok >> 8) & 0xFFFF)
+            parse.assign(acc, (left + right) & 0xFFFFF)
+
+        def unary():
+            inner = parse.call("parse_expr", depth - 1, tok & 0xFFFF)
+            parse.assign(acc, (inner * 3) & 0xFFFFF)
+
+        def literal():
+            parse.assign(acc, (tok & 1023) + ((tok >> 5) & 63))
+
+        parse.switch_(kind, {0: binary, 1: unary}, default=literal)
+
+    parse.if_(depth < 1, lambda: parse.assign(acc, seed & 255), deeper)
+    parse.ret(acc)
+
+    w = pb.function("javac_chunk", ["g"])
+    g = w.p("g")
+    state = w.load(g, 0)
+    total = w.load(g, 1)
+
+    def statement(_j):
+        tok = lcg_bits(w, state, 16)
+        kind = tok & 7
+
+        def decl():
+            w.assign(total, (total + w.call("parse_expr", 3, tok)) & 0xFFFFF)
+
+        def assign():
+            w.assign(total, (total + w.call("parse_expr", 2, tok)) & 0xFFFFF)
+
+        def control():
+            cond = w.call("parse_expr", 2, tok ^ 99)
+            w.if_(
+                cond > 500,
+                lambda: w.assign(total, total + 7),
+                lambda: w.assign(total, total + 3),
+            )
+
+        def simple():
+            mix_kernel(w, total, tok, rounds=2)
+
+        w.switch_(kind, {0: decl, 1: decl, 2: assign, 3: assign, 4: control},
+                  default=simple)
+        branchy_segment(w, state, total, biases=(82, 45, 66, 54))
+        branchy_segment(w, state, total, biases=(59, 73, 91))
+
+    w.for_range(0, _per_chunk(900, scale), 1, statement)
+    w.store(g, 0, state)
+    w.store(g, 1, total)
+    w.ret()
+
+    f = pb.function("main")
+    g_main = f.array(f.const(2))
+    f.store(g_main, 0, 31337)
+    f.for_range(0, CHUNKS, 1, lambda _b: f.call_void("javac_chunk", g_main))
+    result = f.load(g_main, 1)
+    f.emit(result)
+    f.ret(result)
+    return pb.build()
+
+
+def build_mpegaudio(scale: float = 1.0) -> Program:
+    """DSP: chunky, unrolled filter bodies, near-perfectly-predictable branches.
+
+    The easy case for every profiler: few distinct paths, wide loop
+    bodies — mpegaudio sits near zero overhead and full accuracy in the
+    paper's figures.
+    """
+    pb = ProgramBuilder("mpegaudio")
+
+    filt = pb.function("filter", ["x", "coeff"])
+    x = filt.p("x")
+    coeff = filt.p("coeff")
+    acc = filt.local(0)
+    # Ten filter taps, unrolled as the optimizing compiler would emit them.
+    for _ in range(10):
+        filt.assign(acc, (acc + x * coeff) & 0xFFFFF)
+        filt.assign(x, (x >> 1) + 3)
+    filt.ret(acc)
+
+    w = pb.function("mpeg_chunk", ["g", "frame"])
+    g = w.p("g")
+    frame = w.p("frame")
+    state = w.load(g, 0)
+    out = w.load(g, 1)
+    frames = _per_chunk(42, scale)
+
+    def per_frame(_fr):
+        def refill(i):
+            v = lcg_bits(w, state, 10)
+            w.store(frame, i, v)
+            w.store(frame, i + 1, (v * 5) & 1023)
+            w.store(frame, i + 2, (v ^ 333) & 1023)
+            w.store(frame, i + 3, (v + 17) & 1023)
+
+        w.for_range(0, 64, 4, refill)
+
+        def per_band(band):
+            sample = w.load(frame, band)
+            filtered = w.call("filter", sample, band + 1)
+            # Saturation branch: taken extremely rarely.
+            w.if_(
+                filtered > 0xFFFF0,
+                lambda: w.assign(out, out + 1),
+                lambda: w.assign(out, (out + filtered) & 0xFFFFF),
+            )
+            w.assign(out, (out + (sample >> 2)) & 0xFFFFF)
+
+        w.for_range(0, 64, 1, per_band)
+
+    w.for_range(0, frames, 1, per_frame)
+    w.store(g, 0, state)
+    w.store(g, 1, out)
+    w.ret()
+
+    f = pb.function("main")
+    g_main = f.array(f.const(2))
+    f.store(g_main, 0, 555)
+    frame_main = f.array(f.const(64))
+    f.for_range(
+        0, CHUNKS, 1, lambda _b: f.call_void("mpeg_chunk", g_main, frame_main)
+    )
+    result = f.load(g_main, 1)
+    f.emit(result)
+    f.ret(result)
+    return pb.build()
+
+
+def build_mtrt(scale: float = 1.0) -> Program:
+    """Raytracer: bounded recursive descent with hit/miss branches."""
+    pb = ProgramBuilder("mtrt")
+
+    trace = pb.function("trace", ["depth", "ray"])
+    depth = trace.p("depth")
+    ray = trace.p("ray")
+    color = trace.local(0)
+
+    def descend():
+        hashed = (ray * 2246822519) & ((1 << 31) - 1)
+        hit = (hashed >> 13) & 255
+
+        def on_hit():
+            # Shade + reflect: recurse with a derived ray.
+            reflected = trace.call("trace", depth - 1, hashed & 0xFFFF)
+            trace.assign(color, (reflected + (hit * 3)) & 0xFFFFF)
+            # Specular highlight: rare secondary path.
+            trace.if_(
+                (hashed & 63).eq(0),
+                lambda: trace.assign(color, (color + 255) & 0xFFFFF),
+            )
+
+        def on_miss():
+            # Background shading gradient.
+            trace.assign(color, (hit * 5 + (hashed & 31)) & 0xFFFF)
+
+        # ~35% hit rate.
+        trace.if_(hit < 90, on_hit, on_miss)
+
+    trace.if_(depth < 1, lambda: trace.assign(color, ray & 63), descend)
+    shade = color & 0xFFFF
+    trace.ret(shade)
+
+    w = pb.function("mtrt_chunk", ["g"])
+    g = w.p("g")
+    state = w.load(g, 0)
+    image = w.load(g, 1)
+
+    def per_ray(_j):
+        seed = lcg_bits(w, state, 16)
+        pixel = w.call("trace", 4, seed)
+        w.assign(image, (image + pixel) & 0xFFFFF)
+        branchy_segment(w, state, image, biases=(78, 53, 61, 87))
+        branchy_segment(w, state, image, biases=(66, 49))
+        mix_kernel(w, image, seed, rounds=1)
+
+    w.for_range(0, _per_chunk(1400, scale), 1, per_ray)
+    w.store(g, 0, state)
+    w.store(g, 1, image)
+    w.ret()
+
+    f = pb.function("main")
+    g_main = f.array(f.const(2))
+    f.store(g_main, 0, 909090)
+    f.for_range(0, CHUNKS, 1, lambda _b: f.call_void("mtrt_chunk", g_main))
+    result = f.load(g_main, 1)
+    f.emit(result)
+    f.ret(result)
+    return pb.build()
+
+
+def build_jack(scale: float = 1.0) -> Program:
+    """Parser generator: short-running, branchy token loop with drift.
+
+    jack is the paper's shortest benchmark (~4 s), so this builder's
+    default work is well below the suite norm.  The first third of the
+    input is comment-heavy; the *same* comment branch flips bias after
+    that, so one-time profiles lay it out wrong for most of the run.
+    """
+    pb = ProgramBuilder("jack")
+
+    w = pb.function("jack_chunk", ["g", "chunk"])
+    g = w.p("g")
+    chunk = w.p("chunk")
+    state = w.load(g, 0)
+    nest = w.load(g, 1)
+    tokens_out = w.load(g, 2)
+    errors = w.load(g, 3)
+
+    cmt_thr = w.local(0)
+    w.if_(
+        chunk < CHUNKS // 3,
+        lambda: w.assign(cmt_thr, 180),
+        lambda: w.assign(cmt_thr, 60),
+    )
+
+    def per_token(_j):
+        tok = lcg_byte(w, state)
+        cmt = lcg_byte(w, state)
+        w.if_(
+            cmt < cmt_thr,
+            lambda: w.assign(tokens_out, (tokens_out + cmt) & 0xFFFFF),
+            lambda: w.assign(tokens_out, (tokens_out ^ cmt) & 0xFFFFF),
+        )
+
+        def open_paren():
+            w.assign(nest, nest + 1)
+
+        def close_paren():
+            w.if_(
+                nest > 0,
+                lambda: w.assign(nest, nest - 1),
+                lambda: w.assign(errors, errors + 1),
+            )
+
+        def word():
+            w.assign(tokens_out, (tokens_out + tok) & 0xFFFFF)
+            hash_step(w, tokens_out, tok)
+
+        kind = tok & 7
+        w.switch_(kind, {0: open_paren, 1: close_paren}, default=word)
+        branchy_segment(w, state, tokens_out, biases=(60, 85, 48, 72))
+        branchy_segment(w, state, tokens_out, biases=(55, 77, 68))
+        # Line-buffer flush: moderately rare.
+        w.if_((tok & 31).eq(0), lambda: mix_kernel(w, tokens_out, nest, 2))
+
+    w.for_range(0, _per_chunk(1000, scale), 1, per_token)
+    w.store(g, 0, state)
+    w.store(g, 1, nest)
+    w.store(g, 2, tokens_out)
+    w.store(g, 3, errors)
+    w.ret()
+
+    f = pb.function("main")
+    g_main = f.array(f.const(4))
+    f.store(g_main, 0, 2024)
+    f.for_range(0, CHUNKS, 1, lambda b: f.call_void("jack_chunk", g_main, b))
+    result = f.load(g_main, 2)
+    f.emit(result + f.load(g_main, 3))
+    f.ret(result)
+    return pb.build()
+
+
+def build_pseudojbb(scale: float = 1.0) -> Program:
+    """Transaction server: weighted dispatch over five transaction types."""
+    pb = ProgramBuilder("pseudojbb")
+
+    new_order = pb.function("new_order", ["wh"])
+    wv = new_order.p("wh")
+    t = new_order.local(0)
+    # Five order lines, unrolled.
+    for line in range(5):
+        new_order.assign(t, (t + wv * 7 + 3 + line) & 0xFFFF)
+    new_order.if_(
+        (t & 127) < 110,
+        lambda: new_order.ret(t),  # stock available: common
+        lambda: new_order.ret(t + 999),  # back-order: rare
+    )
+
+    payment = pb.function("payment", ["wh"])
+    pw = payment.p("wh")
+    amount = (pw * 13 + 7) & 0xFFFF
+    payment.if_(
+        (pw & 15).eq(0),
+        lambda: payment.ret(amount + 500),  # customer by name: rare path
+        lambda: payment.ret(amount),
+    )
+
+    status = pb.function("order_status", ["wh"])
+    sw = status.p("wh")
+    status.if_(
+        (sw & 3).eq(0),
+        lambda: status.ret(sw >> 1),
+        lambda: status.ret(sw + 5),
+    )
+
+    delivery = pb.function("delivery", ["wh"])
+    dv = delivery.local(0)
+    for _ in range(8):
+        delivery.assign(dv, (dv + delivery.p("wh")) & 0xFFFF)
+    delivery.ret(dv)
+
+    stock = pb.function("stock_level", ["wh"])
+    sv = stock.local(0)
+    for _ in range(3):
+        stock.assign(sv, (sv ^ (stock.p("wh") * 31)) & 0xFFFF)
+    stock.ret(sv)
+
+    w = pb.function("jbb_chunk", ["g"])
+    g = w.p("g")
+    state = w.load(g, 0)
+    ledger = w.load(g, 1)
+
+    def txn(_j):
+        r = lcg_byte(w, state)
+        warehouse = lcg_bits(w, state, 10)
+
+        def do(name):
+            return lambda: w.assign(
+                ledger, (ledger + w.call(name, warehouse)) & 0xFFFFF
+            )
+
+        # TPC-C-style mix: ~44% new order, ~44% payment, 4% each other.
+        w.if_(
+            r < 112,
+            do("new_order"),
+            lambda: w.if_(
+                r < 224,
+                do("payment"),
+                lambda: w.if_(
+                    r < 235,
+                    do("order_status"),
+                    lambda: w.if_(r < 245, do("delivery"), do("stock_level")),
+                ),
+            ),
+        )
+        branchy_segment(w, state, ledger, biases=(72, 50, 81, 63))
+        branchy_segment(w, state, ledger, biases=(58, 84, 47))
+
+    w.for_range(0, _per_chunk(1100, scale), 1, txn)
+    w.store(g, 0, state)
+    w.store(g, 1, ledger)
+    w.ret()
+
+    f = pb.function("main")
+    g_main = f.array(f.const(2))
+    f.store(g_main, 0, 20000)
+    f.for_range(0, CHUNKS, 1, lambda _b: f.call_void("jbb_chunk", g_main))
+    result = f.load(g_main, 1)
+    f.emit(result)
+    f.ret(result)
+    return pb.build()

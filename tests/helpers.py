@@ -1,0 +1,120 @@
+"""Shared guest-program fixtures used across the test suite."""
+
+from __future__ import annotations
+
+from repro.bytecode.builder import ProgramBuilder
+from repro.bytecode.instructions import Br, Const, Jmp, Ret
+from repro.bytecode.method import Method, Program
+
+
+def diamond_loop_method(name: str = "m") -> Method:
+    """A while-loop whose body is an if/else diamond.
+
+    Blocks: entry -> head; head -> (body | exit); body -> (left | right);
+    left -> latch; right -> latch; latch -> head (back edge); exit: ret.
+    """
+    method = Method(name, num_params=0, num_regs=4)
+    entry = method.new_block("entry")
+    entry.append(Const(0, 0))  # i = 0
+    entry.append(Const(1, 10))  # bound
+    entry.terminator = Jmp("head")
+
+    head = method.new_block("head")
+    head.terminator = Br("lt", 0, 1, "body", "exit")
+
+    body = method.new_block("body")
+    body.append(Const(2, 5))
+    body.terminator = Br("lt", 0, 2, "left", "right")
+
+    method.new_block("left").terminator = Jmp("latch")
+    method.new_block("right").terminator = Jmp("latch")
+
+    latch = method.new_block("latch")
+    latch.append(Const(3, 1))
+    latch.terminator = Jmp("head")
+
+    method.new_block("exit").terminator = Ret(0)
+    return method.seal()
+
+
+def nested_loop_method(name: str = "nested") -> Method:
+    """Two nested while loops: outer head h1, inner head h2."""
+    method = Method(name, num_params=0, num_regs=4)
+    entry = method.new_block("entry")
+    entry.append(Const(0, 0))
+    entry.append(Const(1, 3))
+    entry.terminator = Jmp("h1")
+
+    h1 = method.new_block("h1")
+    h1.terminator = Br("lt", 0, 1, "pre2", "exit")
+
+    pre2 = method.new_block("pre2")
+    pre2.append(Const(2, 0))
+    pre2.terminator = Jmp("h2")
+
+    h2 = method.new_block("h2")
+    h2.terminator = Br("lt", 2, 1, "inner", "post2")
+
+    inner = method.new_block("inner")
+    inner.append(Const(2, 1))
+    inner.terminator = Jmp("h2")
+
+    post2 = method.new_block("post2")
+    post2.append(Const(0, 1))
+    post2.terminator = Jmp("h1")
+
+    method.new_block("exit").terminator = Ret(None)
+    return method.seal()
+
+
+def irreducible_method(name: str = "irr") -> Method:
+    """Two blocks jumping into each other's loop (irreducible)."""
+    method = Method(name, num_params=0, num_regs=2)
+    entry = method.new_block("entry")
+    entry.terminator = Br("lt", 0, 1, "a", "b")
+    method.new_block("a").terminator = Br("lt", 0, 1, "b", "exit")
+    method.new_block("b").terminator = Br("lt", 0, 1, "a", "exit")
+    method.new_block("exit").terminator = Ret(None)
+    return method.seal()
+
+
+def straightline_method(name: str = "line") -> Method:
+    method = Method(name, num_params=0, num_regs=1)
+    entry = method.new_block("entry")
+    entry.append(Const(0, 1))
+    entry.terminator = Ret(0)
+    return method.seal()
+
+
+def counting_program(limit: int = 10) -> Program:
+    """A builder-made program: sum 0..limit-1 with an if in the loop."""
+    pb = ProgramBuilder("counting")
+    f = pb.function("main")
+    total = f.local(0)
+
+    def body(i):
+        f.if_(
+            (i & 1).eq(0),
+            lambda: f.assign(total, total + i),
+            lambda: f.assign(total, total + 1),
+        )
+
+    f.for_range(0, limit, 1, body)
+    f.emit(total)
+    f.ret(total)
+    return pb.build()
+
+
+def call_program() -> Program:
+    """main calls helper in a loop; helper has a branch."""
+    pb = ProgramBuilder("calls")
+    helper = pb.function("helper", ["n"])
+    n = helper.p("n")
+    helper.if_(n < 5, lambda: helper.ret(n + 100), lambda: helper.ret(n))
+
+    f = pb.function("main")
+    acc = f.local(0)
+    f.for_range(0, 10, 1, lambda i: f.assign(acc, acc + f.call("helper", i)))
+    f.emit(acc)
+    f.ret(acc)
+    return pb.build()

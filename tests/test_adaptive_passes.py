@@ -1,0 +1,220 @@
+"""Tests for the optimizer passes."""
+
+import pytest
+
+from repro.bytecode.builder import ProgramBuilder
+from repro.bytecode.instructions import Br, Jmp
+from repro.bytecode.method import BranchRef
+from repro.bytecode.validate import verify_method
+from repro.adaptive.passes import (
+    apply_branch_layout,
+    eliminate_dead_code,
+    fold_constants,
+    inline_small_methods,
+)
+from repro.profiling.edges import EdgeProfile
+
+from tests.compile_util import run_program
+from tests.helpers import call_program
+
+
+def program_with_helper(uninterruptible=False, helper_loop=False):
+    pb = ProgramBuilder("p")
+    h = pb.function("twice", ["n"], uninterruptible=uninterruptible)
+    if helper_loop:
+        acc = h.local(0)
+        h.for_range(0, 2, 1, lambda i: h.assign(acc, acc + h.p("n")))
+        h.ret(acc)
+    else:
+        h.ret(h.p("n") * 2)
+    m = pb.function("main")
+    total = m.local(0)
+    m.for_range(0, 5, 1, lambda i: m.assign(total, total + m.call("twice", i)))
+    m.emit(total)
+    m.ret(total)
+    return pb.build()
+
+
+def run_main_output(program):
+    _, result = run_program(program)
+    return result.output
+
+
+def test_inline_preserves_semantics():
+    program = program_with_helper()
+    expected = run_main_output(program)
+
+    clone = program.clone()
+    main = clone.method("main")
+    count = inline_small_methods(main, clone)
+    assert count == 1
+    verify_method(main, clone)
+    # No calls remain in main.
+    assert not any(
+        instr.op == "call"
+        for block in main.iter_blocks()
+        for instr in block.instrs
+    )
+    assert run_main_output(clone) == expected
+
+
+def test_inline_keeps_callee_branch_origins():
+    program = call_program()  # helper has a branch
+    clone = program.clone()
+    main = clone.method("main")
+    inline_small_methods(main, clone)
+    origins = {term.origin for _, term in main.iter_branches() if term.origin}
+    assert BranchRef("helper", 0) in origins
+
+
+def test_inline_counts_shared_bytecode_branch():
+    """Two call sites inlined -> two IR branches, one bytecode branch."""
+    pb = ProgramBuilder("p")
+    h = pb.function("pick", ["n"])
+    h.if_(h.p("n") < 3, lambda: h.ret(1), lambda: h.ret(2))
+    m = pb.function("main")
+    a = m.call("pick", 1)
+    b = m.call("pick", 5)
+    m.emit(a + b)
+    m.ret()
+    program = pb.build()
+
+    clone = program.clone()
+    main = clone.method("main")
+    assert inline_small_methods(main, clone) == 2
+    ir_branches = [
+        term for _, term in main.iter_branches()
+        if term.origin == BranchRef("pick", 0)
+    ]
+    assert len(ir_branches) == 2
+
+    # Both copies update the same counters at run time.
+    from repro.instrument.edge_instr import apply_edge_instrumentation
+    from repro.vm.interpreter import lower_method
+    from repro.vm.runtime import VirtualMachine
+
+    apply_edge_instrumentation(main)
+    code = {
+        name: lower_method(meth, "opt2", __import__(
+            "repro.vm.costs", fromlist=["CostModel"]).CostModel())
+        for name, meth in clone.methods.items()
+    }
+    vm = VirtualMachine(code, "main")
+    vm.run()
+    assert vm.edge_profile.total(BranchRef("pick", 0)) == 2
+
+
+def test_inline_uninterruptible_marks_no_yield_blocks():
+    program = program_with_helper(uninterruptible=True, helper_loop=True)
+    clone = program.clone()
+    main = clone.method("main")
+    inline_small_methods(main, clone)
+    assert main.no_yield_labels, "inlined uninterruptible blocks not marked"
+    # The yieldpoint pass must skip the inlined loop header.
+    from repro.instrument.yieldpoints import insert_yieldpoints
+    from repro.cfg.graph import CFG
+    from repro.cfg.loops import analyze_loops
+
+    insert_yieldpoints(main)
+    loops = analyze_loops(CFG.from_method(main))
+    inlined_headers = [h for h in loops.headers if h in main.no_yield_labels]
+    assert inlined_headers
+    from repro.bytecode.instructions import Yieldpoint
+
+    for header in inlined_headers:
+        assert not any(
+            isinstance(i, Yieldpoint) for i in main.block(header).instrs
+        )
+
+
+def test_inline_respects_size_limit():
+    program = program_with_helper()
+    clone = program.clone()
+    main = clone.method("main")
+    assert inline_small_methods(main, clone, max_callee_size=1) == 0
+
+
+def test_fold_constants_eliminates_branch():
+    pb = ProgramBuilder("p")
+    f = pb.function("main")
+    x = f.local(5)
+    f.if_(x < 10, lambda: f.emit(f.const(1)), lambda: f.emit(f.const(2)))
+    f.ret()
+    program = pb.build()
+    expected = run_main_output(program)
+
+    clone = program.clone()
+    main = clone.method("main")
+    assert fold_constants(main) == 1
+    assert not list(main.iter_branches())
+    verify_method(main, clone)
+    assert run_main_output(clone) == expected
+
+
+def test_fold_constants_skips_trapping_ops():
+    pb = ProgramBuilder("p")
+    f = pb.function("main")
+    zero = f.local(0)
+    one = f.local(1)
+    f.emit(one // zero)
+    f.ret()
+    program = pb.build()
+    main = program.clone().method("main")
+    fold_constants(main)  # must not fold the div or crash
+    from repro.errors import GuestTrapError
+
+    with pytest.raises(GuestTrapError):
+        run_program(program)
+
+
+def test_dce_removes_unused_values():
+    pb = ProgramBuilder("p")
+    f = pb.function("main")
+    used = f.local(1)
+    _unused = used + 5  # dead
+    _unused2 = _unused * 3  # dead after the first is removed
+    f.emit(used)
+    f.ret()
+    program = pb.build()
+    main = program.clone().method("main")
+    before = main.instruction_count()
+    removed = eliminate_dead_code(main)
+    assert removed >= 2
+    assert main.instruction_count() == before - removed
+
+
+def test_dce_preserves_semantics():
+    program = call_program()
+    expected = run_main_output(program)
+    clone = program.clone()
+    for method in clone.iter_methods():
+        eliminate_dead_code(method)
+    assert run_main_output(clone) == expected
+
+
+def test_branch_layout_follows_bias():
+    pb = ProgramBuilder("p")
+    f = pb.function("main")
+    x = f.local(0)
+    f.if_(x < 10, lambda: f.emit(f.const(1)), lambda: f.emit(f.const(2)))
+    f.ret()
+    program = pb.build()
+    main = program.method("main")
+    (_, term), = list(main.iter_branches())
+
+    profile = EdgeProfile()
+    profile.record(term.origin, taken=False, count=90)
+    profile.record(term.origin, taken=True, count=10)
+    apply_branch_layout(main, profile)
+    assert term.layout == "else"
+
+    flipped = profile.flipped()
+    apply_branch_layout(main, flipped)
+    assert term.layout == "then"
+
+
+def test_branch_layout_default_without_profile():
+    program = call_program()
+    main = program.method("main")
+    apply_branch_layout(main, None)
+    assert all(term.layout == "then" for _, term in main.iter_branches())

@@ -1,0 +1,197 @@
+"""Tests for the structured program builder."""
+
+import pytest
+
+from repro.bytecode.builder import ProgramBuilder
+from repro.bytecode.validate import verify_program
+from repro.errors import BytecodeError
+
+
+def build_single(fn_body):
+    pb = ProgramBuilder("t")
+    f = pb.function("main")
+    fn_body(f)
+    program = pb.build()
+    verify_program(program)
+    return program
+
+
+def test_straight_line_program():
+    def body(f):
+        x = f.local(5)
+        y = x + 3
+        f.emit(y * 2)
+        f.ret()
+
+    program = build_single(body)
+    main = program.main_method()
+    assert main.entry is not None
+    assert main.instruction_count() > 0
+
+
+def test_if_else_produces_diamond():
+    def body(f):
+        x = f.local(4)
+        out = f.local(0)
+        f.if_(x < 10, lambda: f.assign(out, 1), lambda: f.assign(out, 2))
+        f.emit(out)
+        f.ret()
+
+    program = build_single(body)
+    main = program.main_method()
+    # One conditional branch, sealed with an id.
+    assert main.branch_count == 1
+
+
+def test_while_loop_structure():
+    def body(f):
+        i = f.local(0)
+        f.while_(lambda: i < 10, lambda: f.assign(i, i + 1))
+        f.emit(i)
+        f.ret()
+
+    program = build_single(body)
+    assert program.main_method().branch_count == 1
+
+
+def test_for_range_and_nesting():
+    def body(f):
+        total = f.local(0)
+
+        def outer(i):
+            f.for_range(0, 3, 1, lambda j: f.assign(total, total + j))
+
+        f.for_range(0, 4, 1, outer)
+        f.emit(total)
+        f.ret()
+
+    program = build_single(body)
+    assert program.main_method().branch_count == 2
+
+
+def test_for_range_zero_step_rejected():
+    pb = ProgramBuilder("t")
+    f = pb.function("main")
+    with pytest.raises(BytecodeError):
+        f.for_range(0, 10, 0, lambda i: None)
+
+
+def test_break_and_continue():
+    def body(f):
+        i = f.local(0)
+        hits = f.local(0)
+
+        def loop_body():
+            f.assign(i, i + 1)
+            f.if_(i.eq(3), lambda: f.continue_())
+            f.if_(i > 6, lambda: f.break_())
+            f.assign(hits, hits + 1)
+
+        f.while_(lambda: i < 100, loop_body)
+        f.emit(hits)
+        f.ret()
+
+    program = build_single(body)
+    verify_program(program)
+
+
+def test_break_outside_loop_rejected():
+    pb = ProgramBuilder("t")
+    f = pb.function("main")
+    with pytest.raises(BytecodeError):
+        f.break_()
+    with pytest.raises(BytecodeError):
+        f.continue_()
+
+
+def test_do_while_structure():
+    def body(f):
+        i = f.local(0)
+        f.do_while_(lambda: f.assign(i, i + 1), lambda: i < 5)
+        f.emit(i)
+        f.ret()
+
+    build_single(body)
+
+
+def test_switch_lowering():
+    def body(f):
+        x = f.local(2)
+        out = f.local(0)
+        f.switch_(
+            x,
+            {
+                0: lambda: f.assign(out, 10),
+                1: lambda: f.assign(out, 20),
+                2: lambda: f.assign(out, 30),
+            },
+            default=lambda: f.assign(out, -1),
+        )
+        f.emit(out)
+        f.ret()
+
+    program = build_single(body)
+    assert program.main_method().branch_count == 3
+
+
+def test_calls_between_functions():
+    pb = ProgramBuilder("t")
+    helper = pb.function("helper", ["n"])
+    helper.ret(helper.p("n") + 1)
+    main = pb.function("main")
+    result = main.call("helper", 41)
+    main.emit(result)
+    main.ret()
+    program = pb.build()
+    verify_program(program)
+    assert set(program.methods) == {"helper", "main"}
+
+
+def test_unknown_parameter_rejected():
+    pb = ProgramBuilder("t")
+    f = pb.function("f", ["a"])
+    with pytest.raises(BytecodeError):
+        f.p("b")
+
+
+def test_dead_code_after_ret_is_pruned():
+    def body(f):
+        f.ret(f.const(1))
+        f.emit(f.const(2))  # unreachable
+
+    program = build_single(body)
+    # all remaining blocks reachable from entry
+    main = program.main_method()
+    assert main.remove_unreachable_blocks() == []
+
+
+def test_uninterruptible_flag_propagates():
+    pb = ProgramBuilder("t")
+    f = pb.function("main")
+    f.ret()
+    g = pb.function("internal", uninterruptible=True)
+    g.ret()
+    program = pb.build()
+    assert not program.method("main").uninterruptible
+    assert program.method("internal").uninterruptible
+
+
+def test_bool_materialises_comparison():
+    def body(f):
+        x = f.local(3)
+        flag = f.bool(x < 5)
+        f.emit(flag)
+        f.ret()
+
+    build_single(body)
+
+
+def test_array_operations_build():
+    def body(f):
+        arr = f.array(f.const(8))
+        f.store(arr, 0, 42)
+        f.emit(f.load(arr, 0))
+        f.emit(f.length(arr))
+        f.ret()
+
+    build_single(body)

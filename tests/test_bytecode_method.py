@@ -1,0 +1,131 @@
+"""Tests for Method/Program containers and branch-id sealing."""
+
+import pytest
+
+from repro.bytecode.instructions import Br, Const, Jmp, Ret
+from repro.bytecode.method import BasicBlock, BranchRef, Method, Program
+from repro.errors import BytecodeError
+
+
+def diamond_method(name="m"):
+    """entry -> (then | else) -> exit, one conditional branch."""
+    method = Method(name, num_params=1, num_regs=3)
+    entry = method.new_block("entry")
+    entry.append(Const(1, 10))
+    entry.terminator = Br("lt", 0, 1, "then", "else")
+    method.new_block("then").terminator = Jmp("exit")
+    method.new_block("else").terminator = Jmp("exit")
+    method.new_block("exit").terminator = Ret(0)
+    return method
+
+
+def test_branchref_identity():
+    a = BranchRef("m", 0)
+    b = BranchRef("m", 0)
+    c = BranchRef("m", 1)
+    assert a == b and hash(a) == hash(b)
+    assert a != c
+    assert a < c
+    assert repr(a) == "m#b0"
+
+
+def test_method_requires_sane_register_file():
+    with pytest.raises(BytecodeError):
+        Method("m", num_params=3, num_regs=2)
+
+
+def test_duplicate_block_label_rejected():
+    method = Method("m")
+    method.new_block("a")
+    with pytest.raises(BytecodeError):
+        method.new_block("a")
+
+
+def test_entry_defaults_to_first_block():
+    method = diamond_method()
+    assert method.entry == "entry"
+    assert method.entry_block().label == "entry"
+
+
+def test_seal_assigns_branch_ids_in_block_order():
+    method = diamond_method().seal()
+    assert method.sealed
+    assert method.branch_count == 1
+    (block, term), = list(method.iter_branches())
+    assert term.origin == BranchRef("m", 0)
+
+
+def test_seal_preserves_existing_origins():
+    method = diamond_method()
+    branch = method.block("entry").terminator
+    branch.origin = BranchRef("other", 7)
+    method.seal()
+    assert branch.origin == BranchRef("other", 7)
+
+
+def test_predecessors_and_exits():
+    method = diamond_method()
+    preds = method.predecessors()
+    assert sorted(preds["exit"]) == ["else", "then"]
+    assert preds["entry"] == []
+    assert method.exit_labels() == ["exit"]
+
+
+def test_predecessors_rejects_dangling_target():
+    method = Method("m", num_regs=1)
+    method.new_block("entry").terminator = Jmp("nowhere")
+    with pytest.raises(BytecodeError):
+        method.predecessors()
+
+
+def test_instruction_count():
+    method = diamond_method()
+    # 1 const + 4 terminators
+    assert method.instruction_count() == 5
+
+
+def test_clone_is_deep():
+    method = diamond_method().seal()
+    copy = method.clone()
+    copy.block("entry").terminator.then_label = "else"
+    assert method.block("entry").terminator.then_label == "then"
+    assert copy.branch_count == method.branch_count
+
+
+def test_remove_unreachable_blocks():
+    method = diamond_method()
+    dead = method.new_block("dead")
+    dead.terminator = Jmp("exit")
+    removed = method.remove_unreachable_blocks()
+    assert removed == ["dead"]
+    assert "dead" not in method.blocks
+
+
+def test_branch_refs_lists_distinct_origins():
+    method = diamond_method().seal()
+    assert method.branch_refs() == [BranchRef("m", 0)]
+
+
+def test_program_add_and_lookup():
+    program = Program("demo")
+    program.add(diamond_method("main"))
+    assert program.method("main").name == "main"
+    with pytest.raises(BytecodeError):
+        program.method("missing")
+    with pytest.raises(BytecodeError):
+        program.add(diamond_method("main"))
+
+
+def test_program_clone_independent():
+    program = Program("demo")
+    program.add(diamond_method("main"))
+    program.seal()
+    copy = program.clone()
+    copy.method("main").block("entry").terminator.kind = "ge"
+    assert program.method("main").block("entry").terminator.kind == "lt"
+
+
+def test_block_successor_requires_terminator():
+    block = BasicBlock("b")
+    with pytest.raises(BytecodeError):
+        block.successors()

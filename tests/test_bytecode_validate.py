@@ -1,0 +1,126 @@
+"""Tests for the bytecode verifier."""
+
+import pytest
+
+from repro.bytecode.builder import ProgramBuilder
+from repro.bytecode.instructions import (
+    Br,
+    Call,
+    Const,
+    Jmp,
+    PepInit,
+    Ret,
+    Yieldpoint,
+)
+from repro.bytecode.method import Method, Program
+from repro.bytecode.validate import verify_method, verify_program
+from repro.errors import VerificationError
+
+
+def good_method(name="m"):
+    method = Method(name, num_params=0, num_regs=2)
+    entry = method.new_block("entry")
+    entry.append(Const(0, 1))
+    entry.terminator = Ret(0)
+    return method
+
+
+def test_verify_accepts_good_method():
+    verify_method(good_method())
+
+
+def test_empty_method_rejected():
+    with pytest.raises(VerificationError):
+        verify_method(Method("m"))
+
+
+def test_missing_terminator_rejected():
+    method = Method("m", num_regs=1)
+    method.new_block("entry")
+    with pytest.raises(VerificationError):
+        verify_method(method)
+
+
+def test_dangling_target_rejected():
+    method = Method("m", num_regs=1)
+    method.new_block("entry").terminator = Jmp("nowhere")
+    with pytest.raises(VerificationError):
+        verify_method(method)
+
+
+def test_degenerate_branch_rejected():
+    method = Method("m", num_regs=2)
+    entry = method.new_block("entry")
+    entry.terminator = Br("lt", 0, 1, "exit", "exit")
+    method.new_block("exit").terminator = Ret(None)
+    with pytest.raises(VerificationError):
+        verify_method(method)
+
+
+def test_register_out_of_range_rejected():
+    method = Method("m", num_regs=1)
+    entry = method.new_block("entry")
+    entry.append(Const(5, 1))  # r5 out of range
+    entry.terminator = Ret(None)
+    with pytest.raises(VerificationError):
+        verify_method(method)
+
+
+def test_method_without_ret_rejected():
+    method = Method("m", num_regs=1)
+    a = method.new_block("a")
+    a.terminator = Jmp("b")
+    method.new_block("b").terminator = Jmp("a")
+    with pytest.raises(VerificationError):
+        verify_method(method)
+
+
+def test_instrumentation_rejected_in_user_code():
+    method = good_method()
+    method.block("entry").instrs.insert(0, PepInit())
+    with pytest.raises(VerificationError):
+        verify_method(method)
+    # ...but allowed for compiled code.
+    verify_method(method, allow_instrumentation=True)
+
+
+def test_yieldpoint_also_counts_as_instrumentation():
+    method = good_method()
+    method.block("entry").instrs.insert(0, Yieldpoint("entry"))
+    with pytest.raises(VerificationError):
+        verify_method(method)
+
+
+def test_unknown_callee_rejected_with_program_context():
+    program = Program("p")
+    method = good_method("main")
+    method.block("entry").instrs.append(Call(1, "ghost", ()))
+    program.add(method)
+    with pytest.raises(VerificationError):
+        verify_program(program)
+
+
+def test_program_requires_main():
+    program = Program("p", main="main")
+    program.add(good_method("not_main"))
+    with pytest.raises(VerificationError):
+        verify_program(program)
+
+
+def test_main_must_take_no_params():
+    program = Program("p")
+    method = Method("main", num_params=1, num_regs=1)
+    method.new_block("entry").terminator = Ret(0)
+    program.add(method)
+    with pytest.raises(VerificationError):
+        verify_program(program)
+
+
+def test_builder_output_always_verifies():
+    pb = ProgramBuilder("p")
+    f = pb.function("main")
+    x = f.local(0)
+    f.for_range(0, 5, 1, lambda i: f.assign(x, x + i))
+    f.if_(x > 5, lambda: f.emit(x), lambda: f.emit(f.const(0)))
+    f.ret(x)
+    verify_program(pb.build())

@@ -1,0 +1,109 @@
+"""Tests for dynamic call graph sampling (paper section 4.1)."""
+
+import json
+
+import pytest
+
+from repro.adaptive.replay import record_advice
+from repro.persist import (
+    advice_from_dict,
+    advice_to_dict,
+    call_graph_from_dict,
+    call_graph_to_dict,
+)
+from repro.profiling.callgraph import CallGraphProfile
+from repro.sampling.arnold_grove import TimerMethodSampler
+from repro.vm.runtime import VirtualMachine
+
+from tests.compile_util import compile_simple
+from tests.helpers import call_program
+from tests.test_adaptive_system import hot_loop_program
+
+
+def test_callgraph_structure():
+    cg = CallGraphProfile()
+    cg.record("main", "helper", 3)
+    cg.record("main", "helper")
+    cg.record(None, "main", 2)
+    assert cg.count("main", "helper") == 4
+    assert cg.count(None, "main") == 2
+    assert cg.count("ghost", "x") == 0
+    assert cg.callees_of("main") == {"helper": 4}
+    assert cg.method_weight("helper") == 4
+    assert cg.method_weight("main") == 2
+    assert len(cg) == 2
+    assert cg.hottest_edges(1) == [(("main", "helper"), 4)]
+
+
+def test_callgraph_merge_and_copy():
+    a = CallGraphProfile()
+    a.record("m", "f")
+    b = CallGraphProfile()
+    b.record("m", "f", 2)
+    b.record("m", "g")
+    a.merge(b)
+    assert a.count("m", "f") == 3
+    c = a.copy()
+    c.record("m", "f")
+    assert a.count("m", "f") == 3
+
+
+def test_vm_samples_call_edges():
+    # Make helper dominate execution so ticks land inside it.
+    from repro.bytecode.builder import ProgramBuilder
+
+    pb = ProgramBuilder("p")
+    h = pb.function("busy", ["n"])
+    acc = h.local(0)
+    h.for_range(0, 60, 1, lambda i: h.assign(acc, (acc + h.p("n")) & 0xFFFF))
+    h.ret(acc)
+    m = pb.function("main")
+    total = m.local(0)
+    m.for_range(0, 300, 1, lambda i: m.assign(total, total + m.call("busy", i)))
+    m.ret(total)
+    program = pb.build()
+
+    code = compile_simple(program)
+    vm = VirtualMachine(
+        code, "main", tick_interval=1500.0, sampler=TimerMethodSampler()
+    )
+    result = vm.run()
+    assert result.ticks > 5
+    assert vm.call_graph.count("main", "busy") > 0
+    # main is sampled at the root (no caller).
+    total_samples = sum(count for _edge, count in vm.call_graph.items())
+    assert total_samples == pytest.approx(result.ticks, abs=2)
+
+
+def test_advice_includes_call_graph():
+    program = hot_loop_program(2500)
+    advice = record_advice(program, tick_interval=1500.0)
+    assert len(advice.call_graph) > 0
+    assert advice.call_graph.method_weight("main") > 0
+
+
+def test_callgraph_roundtrip():
+    cg = CallGraphProfile()
+    cg.record("a", "b", 5)
+    cg.record(None, "a", 2)
+    restored = call_graph_from_dict(
+        json.loads(json.dumps(call_graph_to_dict(cg)))
+    )
+    assert restored.count("a", "b") == 5
+    assert restored.count(None, "a") == 2
+
+
+def test_advice_roundtrip_preserves_call_graph():
+    program = hot_loop_program(1200)
+    advice = record_advice(program, tick_interval=1500.0)
+    restored = advice_from_dict(json.loads(json.dumps(advice_to_dict(advice))))
+    assert dict(restored.call_graph.items()) == dict(advice.call_graph.items())
+
+
+def test_advice_without_call_graph_tolerated():
+    program = hot_loop_program(300)
+    advice = record_advice(program, tick_interval=2000.0)
+    data = advice_to_dict(advice)
+    del data["call_graph"]
+    restored = advice_from_dict(data)
+    assert len(restored.call_graph) == 0

@@ -1,0 +1,142 @@
+"""Tests for P-DAG and classic-DAG construction."""
+
+import pytest
+
+from repro.cfg.dag import (
+    DUMMY_ENTRY,
+    DUMMY_EXIT,
+    EXIT_NODE,
+    DagEdge,
+    PDag,
+    build_classic_dag,
+    build_pep_dag,
+)
+from repro.cfg.graph import CFG
+from repro.cfg.loops import analyze_loops
+from repro.errors import CFGError, NumberingError
+from repro.instrument.structure import split_loop_headers
+
+from tests.helpers import diamond_loop_method, nested_loop_method
+
+
+def pep_dag_for(method):
+    loops = analyze_loops(CFG.from_method(method))
+    headers = [label for label in method.blocks if label in loops.headers]
+    split_map = split_loop_headers(method, headers)
+    return build_pep_dag(method, split_map), split_map
+
+
+def test_pep_dag_nodes_and_dummies():
+    method = diamond_loop_method()
+    dag, split_map = pep_dag_for(method)
+    assert split_map == {"head": "head.bot"}
+    assert EXIT_NODE in dag.nodes
+    kinds = {}
+    for edge in dag.edges:
+        kinds.setdefault(edge.kind, 0)
+        kinds[edge.kind] += 1
+    assert kinds["dummy-entry"] == 1
+    assert kinds["dummy-exit"] == 1
+    assert kinds["exit"] == 1  # one ret block
+    # Truncated edge head -> head.bot must be absent.
+    assert not any(
+        e.src == "head" and e.dst == "head.bot" for e in dag.edges
+    )
+
+
+def test_pep_dag_is_acyclic_and_topo_starts_at_entry():
+    method = diamond_loop_method()
+    dag, _ = pep_dag_for(method)
+    order = dag.topo_order()
+    assert set(order) == set(dag.nodes)
+    index = {n: i for i, n in enumerate(order)}
+    for edge in dag.edges:
+        assert index[edge.src] < index[edge.dst]
+
+
+def test_pep_dag_branch_edges_carry_provenance():
+    method = diamond_loop_method()
+    dag, _ = pep_dag_for(method)
+    branch_edges = [e for e in dag.edges if e.origin is not None]
+    # head branch (2 arms) + body branch (2 arms)
+    assert len(branch_edges) == 4
+    arms = {(e.origin.index, e.taken) for e in branch_edges}
+    assert arms == {(0, True), (0, False), (1, True), (1, False)}
+
+
+def test_pep_dag_enumerates_expected_paths():
+    method = diamond_loop_method()
+    dag, _ = pep_dag_for(method)
+    paths = dag.enumerate_paths()
+    # Paths: entry->head(end);  entry->... wait entry jumps to head: ends
+    # immediately (1).  From loop body start (head.bot): body->left->latch
+    # ->head(end), body->right->latch->head(end), and head.bot->exit(ret).
+    assert len(paths) == 4
+
+
+def test_nested_loop_pep_dag():
+    method = nested_loop_method()
+    dag, split_map = pep_dag_for(method)
+    assert set(split_map) == {"h1", "h2"}
+    dag.topo_order()  # acyclic
+    dummy_entries = [e for e in dag.edges if e.kind == DUMMY_ENTRY]
+    assert {e.dst for e in dummy_entries} == {"h1.bot", "h2.bot"}
+
+
+def test_classic_dag_truncates_back_edges():
+    method = diamond_loop_method()
+    loops = analyze_loops(CFG.from_method(method))
+    dag = build_classic_dag(method, loops.back_edges)
+    assert not any(e.src == "latch" and e.dst == "head" for e in dag.edges)
+    dummy_exits = [e for e in dag.edges if e.kind == DUMMY_EXIT]
+    assert len(dummy_exits) == 1
+    assert dummy_exits[0].src == "latch"
+    dag.topo_order()
+
+
+def test_classic_dag_branch_back_edge_keeps_provenance():
+    from repro.bytecode.instructions import Br, Const, Jmp, Ret
+    from repro.bytecode.method import Method
+
+    # do-while: body branches back to itself or exits.
+    method = Method("dw", num_regs=2)
+    entry = method.new_block("entry")
+    entry.append(Const(0, 0))
+    entry.terminator = Jmp("body")
+    body = method.new_block("body")
+    body.terminator = Br("lt", 0, 1, "body", "exit")
+    method.new_block("exit").terminator = Ret(None)
+    method.seal()
+
+    loops = analyze_loops(CFG.from_method(method))
+    dag = build_classic_dag(method, loops.back_edges)
+    dummy_exit = next(e for e in dag.edges if e.kind == DUMMY_EXIT)
+    assert dummy_exit.origin is not None
+    assert dummy_exit.taken is True  # the 'then' arm loops back
+
+
+def test_pep_dag_rejects_unsplit_branch_into_truncation():
+    method = diamond_loop_method()
+    with pytest.raises(CFGError):
+        # Claiming head->body is a split pair without physically splitting:
+        # body is a Br target, so the builder flags an inconsistency
+        # (head->body appears truncated but head's terminator is a Br?
+        # here head's terminator *is* a Br, so the branch-arm check fires).
+        build_pep_dag(method, {"head": "body"})
+
+
+def test_dag_add_edge_unknown_node_rejected():
+    dag = PDag("m", "entry")
+    dag.add_node("entry")
+    with pytest.raises(CFGError):
+        dag.add_edge(DagEdge("entry", "ghost", "real"))
+
+
+def test_cyclic_graph_rejected_by_topo():
+    dag = PDag("m", "a")
+    for node in ("a", "b"):
+        dag.add_node(node)
+    dag.add_edge(DagEdge("a", "b", "real"))
+    dag.add_edge(DagEdge("b", "a", "real"))
+    with pytest.raises(NumberingError):
+        dag.topo_order()

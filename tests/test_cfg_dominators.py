@@ -1,0 +1,57 @@
+"""Tests for dominator computation."""
+
+from repro.cfg.dominators import compute_dominators
+from repro.cfg.graph import CFG
+
+from tests.helpers import diamond_loop_method, nested_loop_method
+
+
+def test_diamond_loop_idoms():
+    cfg = CFG.from_method(diamond_loop_method())
+    dom = compute_dominators(cfg)
+    assert dom.idom["entry"] is None
+    assert dom.idom["head"] == "entry"
+    assert dom.idom["body"] == "head"
+    assert dom.idom["left"] == "body"
+    assert dom.idom["right"] == "body"
+    # latch is reached via left or right; its idom is the branch point.
+    assert dom.idom["latch"] == "body"
+    assert dom.idom["exit"] == "head"
+
+
+def test_dominates_queries():
+    cfg = CFG.from_method(diamond_loop_method())
+    dom = compute_dominators(cfg)
+    assert dom.dominates("entry", "exit")
+    assert dom.dominates("head", "latch")
+    assert dom.dominates("head", "head")  # reflexive
+    assert not dom.dominates("left", "latch")
+    assert not dom.dominates("latch", "head")
+    assert dom.strictly_dominates("head", "body")
+    assert not dom.strictly_dominates("head", "head")
+
+
+def test_dominators_of_chain():
+    cfg = CFG.from_method(diamond_loop_method())
+    dom = compute_dominators(cfg)
+    chain = dom.dominators_of("latch")
+    assert chain == ["latch", "body", "head", "entry"]
+
+
+def test_nested_loop_dominators():
+    cfg = CFG.from_method(nested_loop_method())
+    dom = compute_dominators(cfg)
+    assert dom.idom["h1"] == "entry"
+    assert dom.idom["h2"] == "pre2"
+    assert dom.dominates("h1", "h2")
+    assert dom.dominates("h1", "post2")
+    assert not dom.dominates("h2", "h1")
+
+
+def test_single_node():
+    from tests.helpers import straightline_method
+
+    cfg = CFG.from_method(straightline_method())
+    dom = compute_dominators(cfg)
+    assert dom.idom["entry"] is None
+    assert dom.dominates("entry", "entry")

@@ -1,0 +1,74 @@
+"""Tests for CFG extraction."""
+
+import pytest
+
+from repro.cfg.graph import CFG
+from repro.errors import CFGError
+
+from tests.helpers import diamond_loop_method, straightline_method
+
+
+def test_cfg_nodes_and_edges():
+    cfg = CFG.from_method(diamond_loop_method())
+    assert set(cfg.labels) == {
+        "entry",
+        "head",
+        "body",
+        "left",
+        "right",
+        "latch",
+        "exit",
+    }
+    assert cfg.succs["head"] == ("body", "exit")
+    assert sorted(cfg.preds["head"]) == ["entry", "latch"]
+    assert cfg.edge_count() == 8
+
+
+def test_cfg_entry():
+    cfg = CFG.from_method(diamond_loop_method())
+    assert cfg.entry == "entry"
+    assert cfg.preds["entry"] == []
+
+
+def test_cfg_excludes_unreachable_blocks():
+    method = diamond_loop_method()
+    dead = method.new_block("dead")
+    from repro.bytecode.instructions import Jmp
+
+    dead.terminator = Jmp("exit")
+    cfg = CFG.from_method(method)
+    assert "dead" not in cfg.labels
+    # Unreachable predecessor is absent from preds of exit too.
+    assert "dead" not in cfg.preds["exit"]
+
+
+def test_reverse_postorder_starts_at_entry():
+    cfg = CFG.from_method(diamond_loop_method())
+    rpo = cfg.reverse_postorder()
+    assert rpo[0] == "entry"
+    assert set(rpo) == set(cfg.labels)
+    index = {label: i for i, label in enumerate(rpo)}
+    # In this reducible graph, non-back edges go forward in RPO.
+    assert index["entry"] < index["head"] < index["body"]
+    assert index["body"] < index["left"]
+    assert index["body"] < index["right"]
+
+
+def test_single_block_cfg():
+    cfg = CFG.from_method(straightline_method())
+    assert cfg.labels == ["entry"]
+    assert cfg.edge_count() == 0
+    assert cfg.reverse_postorder() == ["entry"]
+
+
+def test_cfg_contains():
+    cfg = CFG.from_method(diamond_loop_method())
+    assert "head" in cfg
+    assert "nope" not in cfg
+
+
+def test_cfg_rejects_method_without_blocks():
+    from repro.bytecode.method import Method
+
+    with pytest.raises(CFGError):
+        CFG.from_method(Method("empty"))

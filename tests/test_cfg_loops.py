@@ -1,0 +1,70 @@
+"""Tests for loop analysis."""
+
+import pytest
+
+from repro.cfg.graph import CFG
+from repro.cfg.loops import analyze_loops
+from repro.errors import IrreducibleLoopError
+
+from tests.helpers import (
+    diamond_loop_method,
+    irreducible_method,
+    nested_loop_method,
+    straightline_method,
+)
+
+
+def test_diamond_loop_back_edge_and_header():
+    loops = analyze_loops(CFG.from_method(diamond_loop_method()))
+    assert loops.back_edges == [("latch", "head")]
+    assert loops.headers == {"head"}
+    assert loops.is_header("head")
+    assert not loops.is_header("body")
+
+
+def test_diamond_loop_body():
+    loops = analyze_loops(CFG.from_method(diamond_loop_method()))
+    assert loops.bodies["head"] == {"head", "body", "left", "right", "latch"}
+    assert loops.loop_depth("body") == 1
+    assert loops.loop_depth("entry") == 0
+    assert loops.loop_depth("exit") == 0
+
+
+def test_nested_loops():
+    loops = analyze_loops(CFG.from_method(nested_loop_method()))
+    assert loops.headers == {"h1", "h2"}
+    assert set(loops.back_edges) == {("inner", "h2"), ("post2", "h1")}
+    assert loops.loop_depth("inner") == 2
+    assert loops.loop_depth("pre2") == 1
+    assert loops.loop_depth("entry") == 0
+    assert "h2" in loops.bodies["h1"]
+    assert "h1" not in loops.bodies["h2"]
+
+
+def test_no_loops():
+    loops = analyze_loops(CFG.from_method(straightline_method()))
+    assert loops.back_edges == []
+    assert loops.headers == frozenset()
+
+
+def test_irreducible_raises():
+    with pytest.raises(IrreducibleLoopError):
+        analyze_loops(CFG.from_method(irreducible_method()))
+
+
+def test_self_loop():
+    from repro.bytecode.instructions import Br, Ret
+    from repro.bytecode.method import Method
+
+    method = Method("selfloop", num_regs=2)
+    entry = method.new_block("entry")
+    entry.terminator = Br("lt", 0, 1, "spin", "exit")
+    spin = method.new_block("spin")
+    spin.terminator = Br("lt", 0, 1, "spin", "exit")
+    method.new_block("exit").terminator = Ret(None)
+    method.seal()
+
+    loops = analyze_loops(CFG.from_method(method))
+    assert loops.back_edges == [("spin", "spin")]
+    assert loops.headers == {"spin"}
+    assert loops.bodies["spin"] == {"spin"}

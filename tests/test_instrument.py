@@ -1,0 +1,279 @@
+"""Tests for the instrumentation passes: structure, yieldpoints, PEP."""
+
+import pytest
+
+from repro.bytecode.builder import ProgramBuilder
+from repro.bytecode.instructions import (
+    Jmp,
+    PathCount,
+    PepAdd,
+    PepInit,
+    Yieldpoint,
+)
+from repro.bytecode.validate import verify_method
+from repro.errors import InstrumentationError
+from repro.instrument.blpp_full import apply_full_blpp
+from repro.instrument.edge_instr import (
+    apply_edge_instrumentation,
+    remove_edge_instrumentation,
+)
+from repro.instrument.pep import apply_pep
+from repro.instrument.structure import (
+    ensure_entry_preheader,
+    split_edge,
+    split_loop_headers,
+)
+from repro.instrument.yieldpoints import insert_yieldpoints, is_trivial_leaf
+
+from tests.helpers import diamond_loop_method, nested_loop_method, straightline_method
+
+
+# -- structure ---------------------------------------------------------------
+
+
+def test_split_loop_headers_moves_body():
+    method = diamond_loop_method()
+    insert_yieldpoints(method)
+    mapping = split_loop_headers(method, ["head"])
+    assert mapping == {"head": "head.bot"}
+    top = method.block("head")
+    bottom = method.block("head.bot")
+    assert len(top.instrs) == 1 and isinstance(top.instrs[0], Yieldpoint)
+    assert isinstance(top.terminator, Jmp) and top.terminator.label == "head.bot"
+    # The branch moved to the bottom half.
+    assert bottom.terminator.op == "br"
+    verify_method(method, allow_instrumentation=True)
+
+
+def test_split_header_without_yieldpoint():
+    method = diamond_loop_method()
+    mapping = split_loop_headers(method, ["head"])
+    top = method.block("head")
+    assert top.instrs == []
+    assert mapping["head"] == "head.bot"
+
+
+def test_double_split_rejected():
+    method = diamond_loop_method()
+    split_loop_headers(method, ["head"])
+    with pytest.raises(InstrumentationError):
+        split_loop_headers(method, ["head"])
+
+
+def test_split_edge_jmp_and_branch():
+    method = diamond_loop_method()
+    mid = split_edge(method, "latch", "head")
+    assert method.block("latch").terminator.label == mid
+    assert method.block(mid).terminator.label == "head"
+
+    mid2 = split_edge(method, "head", "exit")
+    term = method.block("head").terminator
+    assert term.else_label == mid2
+    verify_method(method)
+
+
+def test_split_edge_missing_edge_rejected():
+    method = diamond_loop_method()
+    with pytest.raises(InstrumentationError):
+        split_edge(method, "entry", "exit")
+
+
+def test_preheader_insertion():
+    method = diamond_loop_method()
+    old_entry = method.entry
+    new_entry = ensure_entry_preheader(method)
+    assert method.entry == new_entry
+    assert method.block(new_entry).terminator.label == old_entry
+
+
+# -- yieldpoints --------------------------------------------------------------
+
+
+def test_yieldpoints_on_entry_header_exit():
+    method = diamond_loop_method()
+    added = insert_yieldpoints(method)
+    assert added == 3
+    assert isinstance(method.block("entry").instrs[0], Yieldpoint)
+    assert method.block("entry").instrs[0].kind == "entry"
+    assert method.block("head").instrs[0].kind == "header"
+    assert method.block("exit").instrs[-1].kind == "exit"
+
+
+def test_yieldpoints_idempotent():
+    method = diamond_loop_method()
+    insert_yieldpoints(method)
+    assert insert_yieldpoints(method) == 0
+
+
+def test_uninterruptible_gets_none():
+    method = diamond_loop_method()
+    method.uninterruptible = True
+    assert insert_yieldpoints(method) == 0
+
+
+def test_no_yield_labels_skips_header():
+    method = diamond_loop_method()
+    method.no_yield_labels.add("head")
+    added = insert_yieldpoints(method)
+    assert added == 2
+    assert not any(
+        isinstance(i, Yieldpoint) for i in method.block("head").instrs
+    )
+
+
+def test_trivial_leaf_detection_and_skip():
+    leaf = straightline_method()
+    assert is_trivial_leaf(leaf)
+    assert insert_yieldpoints(leaf, skip_trivial_leaves=True) == 0
+    assert insert_yieldpoints(leaf, skip_trivial_leaves=False) == 2
+
+    branchy = diamond_loop_method()
+    assert not is_trivial_leaf(branchy)
+
+
+# -- PEP pass -----------------------------------------------------------------
+
+
+def pep_instrumented(method=None, **kwargs):
+    method = method or diamond_loop_method()
+    insert_yieldpoints(method)
+    inst = apply_pep(method, **kwargs)
+    verify_method(method, allow_instrumentation=True)
+    return method, inst
+
+
+def test_pep_skips_trivial_methods():
+    method = straightline_method()
+    insert_yieldpoints(method)
+    assert apply_pep(method) is None
+
+
+def test_pep_marks_sample_points():
+    method, inst = pep_instrumented()
+    assert inst is not None
+    # One header sample point + one exit sample point.
+    assert inst.sample_points == 2
+    header_yp = method.block("head").instrs
+    assert any(
+        isinstance(i, Yieldpoint) and i.sample_point for i in header_yp
+    )
+    exit_yp = method.block("exit").instrs[-1]
+    assert isinstance(exit_yp, Yieldpoint) and exit_yp.sample_point
+
+
+def test_pep_entry_yieldpoint_not_sample_point():
+    method, _ = pep_instrumented()
+    entry_first = method.block("entry").instrs[0]
+    assert isinstance(entry_first, Yieldpoint)
+    assert not entry_first.sample_point
+
+
+def test_pep_inserts_init_after_entry_yieldpoint():
+    method, _ = pep_instrumented()
+    entry = method.block("entry").instrs
+    assert isinstance(entry[0], Yieldpoint)
+    assert isinstance(entry[1], PepInit)
+
+
+def test_pep_header_resets_path_register():
+    method, inst = pep_instrumented()
+    head = method.block("head").instrs
+    assert any(isinstance(i, PepInit) for i in head)
+
+
+def test_pep_count_mode_inserts_path_count():
+    method = diamond_loop_method()
+    insert_yieldpoints(method)
+    inst = apply_pep(method, count_mode="hash")
+    assert inst is not None
+    counts = [
+        i
+        for block in method.iter_blocks()
+        for i in block.instrs
+        if isinstance(i, PathCount)
+    ]
+    assert len(counts) == 2  # header + exit
+    assert all(c.mode == "hash" for c in counts)
+    # Sample points are NOT marked in count mode.
+    assert inst.sample_points == 0
+
+
+def test_pep_silent_header_when_no_yieldpoint():
+    method = diamond_loop_method()
+    method.no_yield_labels.add("head")
+    insert_yieldpoints(method)
+    inst = apply_pep(method)
+    assert inst is not None
+    assert inst.silent_headers == 1
+    # The header still resets r (DAG consistency) but records nothing.
+    head = method.block("head").instrs
+    assert any(isinstance(i, PepInit) for i in head)
+    assert not any(isinstance(i, Yieldpoint) for i in head)
+
+
+def test_pep_nested_loops():
+    method = nested_loop_method()
+    insert_yieldpoints(method)
+    inst = apply_pep(method)
+    assert inst is not None
+    assert set(inst.split_map) == {"h1", "h2"}
+    verify_method(method, allow_instrumentation=True)
+
+
+def test_pep_values_in_range():
+    method, inst = pep_instrumented()
+    for block in method.iter_blocks():
+        for instr in block.instrs:
+            if isinstance(instr, PepAdd):
+                assert 0 < instr.value < inst.num_paths
+
+
+# -- classic BLPP -------------------------------------------------------------
+
+
+def test_classic_blpp_instruments_back_edges():
+    method = diamond_loop_method()
+    insert_yieldpoints(method)
+    inst = apply_full_blpp(method, style="classic", count_mode="array")
+    assert inst is not None
+    verify_method(method, allow_instrumentation=True)
+    # The back edge latch->head now runs through a counting block.
+    latch_term = method.block("latch").terminator
+    assert latch_term.label != "head"
+    mid = method.block(latch_term.label)
+    assert any(isinstance(i, PathCount) and i.mode == "array" for i in mid.instrs)
+    assert any(isinstance(i, PepInit) for i in mid.instrs)
+
+
+def test_classic_blpp_counts_at_exit():
+    method = diamond_loop_method()
+    inst = apply_full_blpp(method, style="classic", count_mode="array")
+    exit_block = method.block("exit")
+    assert any(isinstance(i, PathCount) for i in exit_block.instrs)
+
+
+def test_unknown_blpp_style_rejected():
+    with pytest.raises(InstrumentationError):
+        apply_full_blpp(diamond_loop_method(), style="quantum")
+
+
+# -- edge instrumentation ------------------------------------------------------
+
+
+def test_edge_instrumentation_flags_branches():
+    method = diamond_loop_method()
+    assert apply_edge_instrumentation(method) == 2
+    assert all(term.count_arms for _, term in method.iter_branches())
+    assert remove_edge_instrumentation(method) == 2
+    assert not any(term.count_arms for _, term in method.iter_branches())
+
+
+def test_edge_instrumentation_requires_sealed():
+    pb = ProgramBuilder("t")
+    f = pb.function("main")
+    f.if_(f.const(1).eq(1), lambda: f.emit(f.const(1)))
+    f.ret()
+    # Bypass build()/seal to get an unsealed method.
+    method = f.finish()
+    with pytest.raises(InstrumentationError):
+        apply_edge_instrumentation(method)

@@ -1,0 +1,192 @@
+"""Exhaustive interpreter opcode coverage and cost-accounting checks."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bytecode.builder import ProgramBuilder
+from repro.errors import GuestTrapError
+from repro.vm.costs import CostModel
+from repro.vm.interpreter import KIND_CODES, lower_method
+from repro.vm.runtime import VirtualMachine
+
+from tests.compile_util import run_program
+
+
+def eval_binop(kind, a, b):
+    """Run a single guest binop and return its result."""
+    pb = ProgramBuilder("t")
+    f = pb.function("main")
+    va = f.local(a)
+    vb = f.local(b)
+    from repro.bytecode.instructions import BinOp
+
+    dest = f.local(0)
+    f._emit(BinOp(kind, dest.reg, va.reg, vb.reg))
+    f.emit(dest)
+    f.ret()
+    _, result = run_program(pb.build())
+    return result.output[0]
+
+
+PY_OPS = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "min": min,
+    "max": max,
+    "lt": lambda a, b: int(a < b),
+    "le": lambda a, b: int(a <= b),
+    "gt": lambda a, b: int(a > b),
+    "ge": lambda a, b: int(a >= b),
+    "eq": lambda a, b: int(a == b),
+    "ne": lambda a, b: int(a != b),
+}
+
+
+@pytest.mark.parametrize("kind", sorted(PY_OPS))
+def test_binop_semantics(kind):
+    for a, b in [(7, 3), (-4, 9), (0, 0), (100, -100)]:
+        assert eval_binop(kind, a, b) == PY_OPS[kind](a, b), (kind, a, b)
+
+
+def test_div_mod_floor_semantics():
+    # Guest division is Python floor division (documented).
+    assert eval_binop("div", 7, 2) == 3
+    assert eval_binop("div", -7, 2) == -4
+    assert eval_binop("mod", 7, 3) == 1
+    assert eval_binop("mod", -7, 3) == 2
+
+
+def test_shift_semantics_and_traps():
+    assert eval_binop("shl", 3, 4) == 48
+    assert eval_binop("shr", 48, 4) == 3
+    for kind in ("shl", "shr"):
+        with pytest.raises(GuestTrapError):
+            eval_binop(kind, 1, -1)
+        with pytest.raises(GuestTrapError):
+            eval_binop(kind, 1, 64)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.sampled_from(sorted(PY_OPS)),
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.integers(min_value=-10**6, max_value=10**6),
+)
+def test_binop_property(kind, a, b):
+    assert eval_binop(kind, a, b) == PY_OPS[kind](a, b)
+
+
+def test_kind_codes_complete():
+    assert set(KIND_CODES) == set(PY_OPS) | {"div", "mod", "shl", "shr"}
+    assert len(set(KIND_CODES.values())) == len(KIND_CODES)
+
+
+def test_binop_imm_matches_binop():
+    pb = ProgramBuilder("t")
+    f = pb.function("main")
+    x = f.local(37)
+    f.emit(x + 5)       # binop_imm add
+    f.emit(x * 3)       # binop_imm mul
+    f.emit(x & 12)      # binop_imm and
+    f.emit(x >> 2)      # binop_imm shr
+    f.emit(f.bool(x < 40))
+    f.ret()
+    _, result = run_program(pb.build())
+    assert result.output == [42, 111, 4, 9, 1]
+
+
+def test_unary_ops():
+    pb = ProgramBuilder("t")
+    f = pb.function("main")
+    x = f.local(5)
+    f.emit(-x)
+    from repro.bytecode.instructions import Unary
+
+    dest = f.local(0)
+    f._emit(Unary("not", dest.reg, x.reg))
+    f.emit(dest)
+    zero = f.local(0)
+    f._emit(Unary("not", dest.reg, zero.reg))
+    f.emit(dest)
+    f.ret()
+    _, result = run_program(pb.build())
+    assert result.output == [-5, 0, 1]
+
+
+def test_newarr_size_validation():
+    pb = ProgramBuilder("t")
+    f = pb.function("main")
+    size = f.local(-1)
+    f.array(size)
+    f.ret()
+    with pytest.raises(GuestTrapError):
+        run_program(pb.build())
+
+
+def test_cycle_accounting_sums_per_op_costs():
+    """A straight-line program's cycles equal the sum of op costs."""
+    pb = ProgramBuilder("t")
+    f = pb.function("main")
+    a = f.local(1)       # const
+    b = f.local(2)       # const
+    c = a + b            # binop
+    f.emit(c)            # emit
+    f.ret(c)             # ret
+    program = pb.build()
+
+    costs = CostModel()
+    code = {
+        m.name: lower_method(m, "opt2", costs) for m in program.iter_methods()
+    }
+    vm = VirtualMachine(code, "main", costs=costs)
+    result = vm.run()
+    expected = 3 * costs.simple_op + costs.emit_op + costs.ret_op
+    assert result.cycles == pytest.approx(expected)
+
+
+def test_tier_multiplier_applied_exactly():
+    pb = ProgramBuilder("t")
+    f = pb.function("main")
+    x = f.local(0)
+    f.for_range(0, 50, 1, lambda i: f.assign(x, x + i))
+    f.ret(x)
+    program = pb.build()
+
+    costs = CostModel()
+    cycles = {}
+    for tier in ("opt2", "baseline"):
+        code = {
+            m.name: lower_method(m, tier, costs)
+            for m in program.iter_methods()
+        }
+        cycles[tier] = VirtualMachine(code, "main", costs=costs).run().cycles
+    ratio = cycles["baseline"] / cycles["opt2"]
+    assert ratio == pytest.approx(costs.tier_multipliers["baseline"], rel=1e-6)
+
+
+def test_return_value_of_void_call_is_zero():
+    pb = ProgramBuilder("t")
+    g = pb.function("noop")
+    g.ret()  # Ret(None) -> caller receives 0
+    f = pb.function("main")
+    v = f.call("noop")
+    f.emit(v)
+    f.ret()
+    _, result = run_program(pb.build())
+    assert result.output == [0]
+
+
+def test_deep_but_legal_recursion():
+    pb = ProgramBuilder("t")
+    g = pb.function("down", ["n"])
+    n = g.p("n")
+    g.if_(n < 1, lambda: g.ret(0), lambda: g.ret(g.call("down", n - 1) + 1))
+    f = pb.function("main")
+    f.emit(f.call("down", 500))
+    f.ret()
+    _, result = run_program(pb.build())
+    assert result.output == [500]

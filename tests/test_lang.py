@@ -1,0 +1,312 @@
+"""Tests for the MiniJ front end: lexer, parser, compiler, execution."""
+
+import pytest
+
+from repro.errors import CompileError, LexError, ParseError
+from repro.lang import compile_source, parse, tokenize
+from repro.lang.lexer import Token
+
+from tests.compile_util import run_program
+
+
+def run_source(source, **kwargs):
+    program = compile_source(source)
+    _, result = run_program(program, **kwargs)
+    return result
+
+
+# -- lexer ---------------------------------------------------------------------
+
+
+def test_tokenize_basics():
+    tokens = tokenize("fn main() { let x = 42; }")
+    kinds = [(t.kind, t.value) for t in tokens]
+    assert ("keyword", "fn") in kinds
+    assert ("name", "main") in kinds
+    assert ("number", "42") in kinds
+    assert kinds[-1] == ("eof", "")
+
+
+def test_tokenize_hex_and_comments():
+    tokens = tokenize("# comment\n// also\n0x1F")
+    numbers = [t for t in tokens if t.kind == "number"]
+    assert len(numbers) == 1
+    assert int(numbers[0].value, 0) == 31
+
+
+def test_tokenize_multichar_operators():
+    tokens = tokenize("a <= b == c .. d << e")
+    ops = [t.value for t in tokens if t.kind == "op"]
+    assert ops == ["<=", "==", "..", "<<"]
+
+
+def test_tokenize_positions():
+    tokens = tokenize("fn\n  main")
+    assert tokens[0].line == 1
+    assert tokens[1].line == 2
+    assert tokens[1].column == 3
+
+
+def test_tokenize_rejects_garbage():
+    with pytest.raises(LexError):
+        tokenize("fn main() { @ }")
+
+
+# -- parser ------------------------------------------------------------------
+
+
+def test_parse_function_shapes():
+    module = parse(
+        """
+        fn helper(a, b) { return a + b; }
+        uninterruptible fn locked() { return 0; }
+        fn main() { return helper(1, 2); }
+        """
+    )
+    names = [f.name for f in module.functions]
+    assert names == ["helper", "locked", "main"]
+    assert module.functions[1].uninterruptible
+    assert not module.functions[0].uninterruptible
+    assert module.functions[0].params == ["a", "b"]
+
+
+def test_parse_precedence():
+    module = parse("fn main() { return 1 + 2 * 3; }")
+    ret = module.functions[0].body[0]
+    assert ret.value.op == "+"
+    assert ret.value.right.op == "*"
+
+
+def test_parse_else_if_chain():
+    module = parse(
+        """
+        fn main() {
+            let x = 1;
+            if (x == 0) { emit 0; }
+            else if (x == 1) { emit 1; }
+            else { emit 2; }
+            return x;
+        }
+        """
+    )
+    if_stmt = module.functions[0].body[1]
+    assert if_stmt.else_body is not None
+
+
+def test_parse_errors():
+    with pytest.raises(ParseError):
+        parse("fn main( { }")
+    with pytest.raises(ParseError):
+        parse("fn main() { let = 3; }")
+    with pytest.raises(ParseError):
+        parse("fn main() { return 1 +; }")
+    with pytest.raises(ParseError):
+        parse("")
+    with pytest.raises(ParseError):
+        parse("fn main() { ")  # unterminated block
+
+
+# -- compilation & execution -----------------------------------------------------
+
+
+def test_arithmetic_program():
+    result = run_source(
+        """
+        fn main() {
+            emit 7 + 3;
+            emit 7 - 3;
+            emit 7 * 3;
+            emit 7 / 3;
+            emit 7 % 3;
+            emit 7 & 3;
+            emit 7 | 8;
+            emit 7 ^ 1;
+            emit 1 << 4;
+            emit 16 >> 2;
+            emit -5;
+            emit !0;
+            emit !9;
+            return 0;
+        }
+        """
+    )
+    assert result.output == [10, 4, 21, 2, 1, 3, 15, 6, 16, 4, -5, 1, 0]
+
+
+def test_comparisons_and_logic():
+    result = run_source(
+        """
+        fn main() {
+            emit 1 < 2;
+            emit 2 <= 1;
+            emit 3 > 2;
+            emit 3 >= 4;
+            emit 5 == 5;
+            emit 5 != 5;
+            emit (1 < 2) && (3 < 4);
+            emit (1 > 2) || (3 < 4);
+            return 0;
+        }
+        """
+    )
+    assert result.output == [1, 0, 1, 0, 1, 0, 1, 1]
+
+
+def test_control_flow():
+    result = run_source(
+        """
+        fn main() {
+            let total = 0;
+            for i in 0 .. 10 {
+                if (i % 2 == 0) { total = total + i; }
+                else { total = total + 1; }
+            }
+            let j = 0;
+            while (j < 100) {
+                j = j + 1;
+                if (j == 3) { continue; }
+                if (j > 6) { break; }
+            }
+            emit total;
+            emit j;
+            return total;
+        }
+        """
+    )
+    assert result.output == [25, 7]
+
+
+def test_functions_and_recursion():
+    result = run_source(
+        """
+        fn fib(n) {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        fn main() {
+            emit fib(12);
+            return 0;
+        }
+        """
+    )
+    assert result.output == [144]
+
+
+def test_arrays():
+    result = run_source(
+        """
+        fn main() {
+            let a = new[6];
+            for i in 0 .. len(a) {
+                a[i] = i * i;
+            }
+            let total = 0;
+            for i in 0 .. 6 {
+                total = total + a[i];
+            }
+            emit total;
+            emit len(a);
+            return total;
+        }
+        """
+    )
+    assert result.output == [55, 6]
+
+
+def test_uninterruptible_function_flag():
+    program = compile_source(
+        """
+        uninterruptible fn spin(n) {
+            let total = 0;
+            for i in 0 .. n { total = total + i; }
+            return total;
+        }
+        fn main() { return spin(5); }
+        """
+    )
+    assert program.method("spin").uninterruptible
+    _, result = run_program(program)
+    assert result.return_value == 10
+
+
+def test_lang_programs_profile_cleanly():
+    from repro import api
+
+    program = compile_source(
+        """
+        fn main() {
+            let state = 7;
+            let acc = 0;
+            for i in 0 .. 3000 {
+                state = (state * 1103515245 + 12345) & 0x7FFFFFFF;
+                if ((state >> 16) & 255 < 200) { acc = acc + 1; }
+                else { acc = acc + 2; }
+            }
+            emit acc;
+            return acc;
+        }
+        """
+    )
+    report = api.profile(program, ticks=50)
+    assert report.paths.distinct_paths() >= 2
+    biases = report.branch_biases()
+    assert biases, "no branches profiled"
+
+
+# -- semantic errors -----------------------------------------------------------
+
+
+def test_undefined_variable():
+    with pytest.raises(CompileError):
+        compile_source("fn main() { return missing; }")
+
+
+def test_double_definition():
+    with pytest.raises(CompileError):
+        compile_source("fn main() { let x = 1; let x = 2; return x; }")
+
+
+def test_unknown_function():
+    with pytest.raises(CompileError):
+        compile_source("fn main() { return ghost(); }")
+
+
+def test_wrong_arity():
+    with pytest.raises(CompileError):
+        compile_source(
+            "fn f(a) { return a; } fn main() { return f(1, 2); }"
+        )
+
+
+def test_missing_main():
+    with pytest.raises(CompileError):
+        compile_source("fn helper() { return 0; }")
+
+
+def test_main_with_params_rejected():
+    with pytest.raises(CompileError):
+        compile_source("fn main(x) { return x; }")
+
+
+def test_duplicate_function():
+    with pytest.raises(CompileError):
+        compile_source("fn f() { return 0; } fn f() { return 1; } fn main() { return 0; }")
+
+
+def test_duplicate_params():
+    with pytest.raises(CompileError):
+        compile_source("fn f(a, a) { return a; } fn main() { return 0; }")
+
+
+def test_loop_variable_shadowing_rejected():
+    with pytest.raises(CompileError):
+        compile_source(
+            "fn main() { let i = 1; for i in 0 .. 3 { emit i; } return 0; }"
+        )
+
+
+def test_division_by_zero_traps_at_runtime():
+    from repro.errors import GuestTrapError
+
+    with pytest.raises(GuestTrapError):
+        run_source("fn main() { let z = 0; return 1 / z; }")

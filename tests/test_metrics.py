@@ -1,0 +1,159 @@
+"""Tests for the accuracy and overhead metrics."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bytecode.method import BranchRef
+from repro.metrics.overhead import normalized_times, summarize_overhead
+from repro.metrics.overlap import absolute_overlap, relative_overlap
+from repro.metrics.wall import hot_paths, wall_accuracy
+from repro.profiling.edges import EdgeProfile
+
+B0 = BranchRef("m", 0)
+B1 = BranchRef("m", 1)
+
+
+# -- Wall weight-matching -----------------------------------------------------
+
+
+def test_hot_paths_thresholding():
+    flows = {("m", 0): 1000.0, ("m", 1): 500.0, ("m", 2): 0.5}
+    hot = hot_paths(flows, threshold=0.00125)
+    assert ("m", 0) in hot and ("m", 1) in hot
+    assert ("m", 2) not in hot
+
+
+def test_hot_paths_empty():
+    assert hot_paths({}) == set()
+    assert hot_paths({("m", 0): 0.0}) == set()
+
+
+def test_wall_accuracy_perfect_match():
+    flows = {("m", 0): 100.0, ("m", 1): 50.0, ("m", 2): 1.0}
+    assert wall_accuracy(flows, dict(flows)) == pytest.approx(1.0)
+
+
+def test_wall_accuracy_no_hot_paths_is_one():
+    assert wall_accuracy({}, {}) == 1.0
+
+
+def test_wall_accuracy_miss():
+    actual = {("m", 0): 100.0, ("m", 1): 100.0}
+    estimated = {("m", 0): 100.0, ("m", 2): 100.0}  # found only one of two
+    assert wall_accuracy(actual, estimated) == pytest.approx(0.5)
+
+
+def test_wall_accuracy_budget_limits_estimate():
+    # One actual hot path, but the estimate ranks a cold one first.
+    actual = {("m", 0): 1000.0, ("m", 1): 0.1}
+    estimated = {("m", 1): 99.0, ("m", 0): 1.0}
+    assert wall_accuracy(actual, estimated) == 0.0
+
+
+def test_wall_accuracy_weights_by_actual_flow():
+    actual = {("m", 0): 900.0, ("m", 1): 100.0}
+    # Estimate identifies only the big one.
+    estimated = {("m", 0): 1.0}
+    assert wall_accuracy(actual, estimated) == pytest.approx(0.9)
+
+
+# -- relative overlap -----------------------------------------------------------
+
+
+def make_profile(entries):
+    p = EdgeProfile()
+    for branch, taken, not_taken in entries:
+        if taken:
+            p.record(branch, True, taken)
+        if not_taken:
+            p.record(branch, False, not_taken)
+    return p
+
+
+def test_relative_overlap_identical_is_one():
+    a = make_profile([(B0, 90, 10), (B1, 5, 5)])
+    assert relative_overlap(a, a.copy()) == pytest.approx(1.0)
+
+
+def test_relative_overlap_flipped_is_low():
+    a = make_profile([(B0, 90, 10)])
+    assert relative_overlap(a, a.flipped()) == pytest.approx(1.0 - 0.8)
+
+
+def test_relative_overlap_missing_branch_uses_default():
+    a = make_profile([(B0, 100, 0)])
+    empty = EdgeProfile()
+    assert relative_overlap(a, empty) == pytest.approx(0.5)
+
+
+def test_relative_overlap_weighting():
+    # Hot branch agrees, cold branch disagrees completely.
+    a = make_profile([(B0, 99, 0), (B1, 1, 0)])
+    est = make_profile([(B0, 99, 0), (B1, 0, 1)])
+    accuracy = relative_overlap(a, est)
+    assert accuracy == pytest.approx((99 * 1.0 + 1 * 0.0) / 100)
+
+
+def test_relative_overlap_empty_actual():
+    assert relative_overlap(EdgeProfile(), EdgeProfile()) == 1.0
+
+
+# -- absolute overlap -------------------------------------------------------------
+
+
+def test_absolute_overlap_identical_is_one():
+    a = make_profile([(B0, 70, 30), (B1, 10, 90)])
+    assert absolute_overlap(a, a.copy()) == pytest.approx(1.0)
+
+
+def test_absolute_overlap_empty_estimate_is_zero():
+    a = make_profile([(B0, 1, 0)])
+    assert absolute_overlap(a, EdgeProfile()) == 0.0
+
+
+def test_absolute_overlap_partial():
+    a = make_profile([(B0, 100, 0)])
+    b = make_profile([(B0, 50, 50)])
+    assert absolute_overlap(a, b) == pytest.approx(0.5)
+
+
+def test_absolute_overlap_scale_invariant():
+    a = make_profile([(B0, 70, 30)])
+    b = make_profile([(B0, 700, 300)])
+    assert absolute_overlap(a, b) == pytest.approx(1.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 5),
+            st.floats(min_value=0, max_value=100),
+            st.floats(min_value=0, max_value=100),
+        ),
+        min_size=1,
+        max_size=8,
+    )
+)
+def test_overlap_measures_bounded(entries):
+    a = make_profile([(BranchRef("m", i), t, n) for i, t, n in entries])
+    b = make_profile([(BranchRef("m", i), n, t) for i, t, n in entries])
+    assert 0.0 <= relative_overlap(a, b) <= 1.0 + 1e-9
+    assert 0.0 <= absolute_overlap(a, b) <= 1.0 + 1e-9
+
+
+# -- overhead summaries -------------------------------------------------------------
+
+
+def test_summarize_overhead():
+    base = {"a": 100.0, "b": 200.0}
+    measured = {"a": 101.0, "b": 206.0}
+    normalized, avg, worst = summarize_overhead(measured, base)
+    assert normalized["a"] == pytest.approx(1.01)
+    assert avg == pytest.approx(0.02)
+    assert worst == pytest.approx(0.03)
+
+
+def test_normalized_times_requires_base():
+    with pytest.raises(KeyError):
+        normalized_times({"a": 1.0}, {"b": 1.0})

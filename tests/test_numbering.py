@@ -1,0 +1,212 @@
+"""Tests for Ball-Larus and smart path numbering."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bytecode.method import BranchRef
+from repro.cfg.dag import DagEdge, PDag
+from repro.errors import NumberingError
+from repro.profiling.ballarus import assign_ball_larus_values
+from repro.profiling.edges import EdgeProfile
+from repro.profiling.smart import apply_edge_weights, assign_smart_values
+
+from tests.helpers import diamond_loop_method
+from tests.test_cfg_dag import pep_dag_for
+
+
+def chain_dag():
+    """entry -> mid -> exit, single path."""
+    dag = PDag("m", "entry")
+    for node in ("entry", "mid", "exit"):
+        dag.add_node(node)
+    dag.add_edge(DagEdge("entry", "mid", "real"))
+    dag.add_edge(DagEdge("mid", "exit", "real"))
+    return dag
+
+
+def double_diamond_dag():
+    """Two diamonds in sequence: 4 paths."""
+    dag = PDag("m", "a")
+    for node in "abcdefg":
+        dag.add_node(node)
+    edges = [
+        ("a", "b"),
+        ("a", "c"),
+        ("b", "d"),
+        ("c", "d"),
+        ("d", "e"),
+        ("d", "f"),
+        ("e", "g"),
+        ("f", "g"),
+    ]
+    for src, dst in edges:
+        dag.add_edge(DagEdge(src, dst, "real"))
+    return dag
+
+
+def path_sums(dag):
+    return [sum(e.value for e in path) for path in dag.enumerate_paths()]
+
+
+def test_single_path_numbering():
+    dag = chain_dag()
+    assert assign_ball_larus_values(dag) == 1
+    assert path_sums(dag) == [0]
+
+
+def test_double_diamond_bijection():
+    dag = double_diamond_dag()
+    n = assign_ball_larus_values(dag)
+    assert n == 4
+    sums = path_sums(dag)
+    assert sorted(sums) == [0, 1, 2, 3]
+
+
+def test_figure2_example_values():
+    """Hand-checked values on the double diamond with insertion order."""
+    dag = double_diamond_dag()
+    assign_ball_larus_values(dag)
+    values = {(e.src, e.dst): e.value for e in dag.edges}
+    # Reverse topo: NumPaths(g)=1, e=f=1, d=2, b=c=2, a=4.
+    assert values[("a", "b")] == 0
+    assert values[("a", "c")] == 2
+    assert values[("d", "e")] == 0
+    assert values[("d", "f")] == 1
+    assert values[("b", "d")] == 0
+    assert values[("c", "d")] == 0
+
+
+def test_pep_dag_numbering_counts_paths():
+    method = diamond_loop_method()
+    dag, _ = pep_dag_for(method)
+    n = assign_ball_larus_values(dag)
+    assert n == len(dag.enumerate_paths()) == 4
+    assert sorted(path_sums(dag)) == list(range(4))
+
+
+def test_smart_numbering_gives_zero_to_hottest():
+    dag = double_diamond_dag()
+    # Attach branch provenance so the profile can weight the arms.
+    br_a = BranchRef("m", 0)
+    br_d = BranchRef("m", 1)
+    for edge in dag.edges:
+        if edge.src == "a":
+            edge.origin = br_a
+            edge.taken = edge.dst == "b"
+        if edge.src == "d":
+            edge.origin = br_d
+            edge.taken = edge.dst == "e"
+
+    profile = EdgeProfile()
+    profile.record(br_a, taken=False, count=90)  # a->c is hot
+    profile.record(br_a, taken=True, count=10)
+    profile.record(br_d, taken=True, count=80)  # d->e is hot
+    profile.record(br_d, taken=False, count=20)
+
+    n = assign_smart_values(dag, profile)
+    assert n == 4
+    values = {(e.src, e.dst): e.value for e in dag.edges}
+    assert values[("a", "c")] == 0  # hottest outgoing edge of a
+    assert values[("d", "e")] == 0  # hottest outgoing edge of d
+    assert sorted(path_sums(dag)) == [0, 1, 2, 3]  # still a bijection
+
+
+def test_inverted_smart_numbering_puts_zero_on_coldest():
+    dag = double_diamond_dag()
+    br_a = BranchRef("m", 0)
+    for edge in dag.edges:
+        if edge.src == "a":
+            edge.origin = br_a
+            edge.taken = edge.dst == "b"
+    profile = EdgeProfile()
+    profile.record(br_a, taken=False, count=90)
+    profile.record(br_a, taken=True, count=10)
+
+    assign_smart_values(dag, profile, invert=True)
+    values = {(e.src, e.dst): e.value for e in dag.edges}
+    assert values[("a", "b")] == 0  # cold edge now gets the free slot
+    assert values[("a", "c")] != 0
+
+
+def test_smart_numbering_without_profile_is_stable():
+    dag1 = double_diamond_dag()
+    dag2 = double_diamond_dag()
+    assign_smart_values(dag1, None)
+    assign_smart_values(dag2, None)
+    assert [e.value for e in dag1.edges] == [e.value for e in dag2.edges]
+
+
+def test_dummy_entry_weight_estimates_loop_frequency():
+    method = diamond_loop_method()
+    dag, _ = pep_dag_for(method)
+    profile = EdgeProfile()
+    head_branch = BranchRef("m", 0)
+    profile.record(head_branch, taken=True, count=1000)  # loop iterates a lot
+    profile.record(head_branch, taken=False, count=10)
+    apply_edge_weights(dag, profile)
+    dummy = next(e for e in dag.edges if e.kind == "dummy-entry")
+    # The loop body's first block branches; its weight reflects the hot arm.
+    assert dummy.weight > 100
+
+
+def test_numbering_rejects_bad_edge_order():
+    dag = chain_dag()
+    with pytest.raises(NumberingError):
+        assign_ball_larus_values(dag, edge_order=lambda edges: [])
+
+
+@st.composite
+def layered_dags(draw):
+    """Random layered DAGs: every node points only to later layers."""
+    n_layers = draw(st.integers(min_value=2, max_value=5))
+    sizes = [draw(st.integers(min_value=1, max_value=3)) for _ in range(n_layers)]
+    sizes[0] = 1  # single entry
+    dag = PDag("rand", "L0N0")
+    names = []
+    for layer, size in enumerate(sizes):
+        row = [f"L{layer}N{i}" for i in range(size)]
+        for name in row:
+            dag.add_node(name)
+        names.append(row)
+    # Every non-final node gets 1-3 out-edges to strictly later layers.
+    for layer in range(n_layers - 1):
+        for src in names[layer]:
+            n_out = draw(st.integers(min_value=1, max_value=3))
+            for _ in range(n_out):
+                target_layer = draw(
+                    st.integers(min_value=layer + 1, max_value=n_layers - 1)
+                )
+                options = names[target_layer]
+                dst = options[draw(st.integers(0, len(options) - 1))]
+                if not any(
+                    e.src == src and e.dst == dst for e in dag.out_edges[src]
+                ):
+                    dag.add_edge(DagEdge(src, dst, "real"))
+    return dag
+
+
+@settings(max_examples=60, deadline=None)
+@given(layered_dags())
+def test_numbering_is_bijection_on_random_dags(dag):
+    n = assign_ball_larus_values(dag)
+    paths = dag.enumerate_paths()
+    # Only count paths from the entry that can actually reach a sink; all
+    # enumerated paths start at entry by construction.
+    sums = [sum(e.value for e in p) for p in paths]
+    assert len(paths) == n
+    assert sorted(sums) == list(range(n))
+
+
+@settings(max_examples=40, deadline=None)
+@given(layered_dags(), st.integers(min_value=0, max_value=10**6))
+def test_reconstruction_inverts_numbering(dag, raw):
+    from repro.profiling.regenerate import reconstruct_path
+
+    n = assign_ball_larus_values(dag)
+    number = raw % n
+    edges = reconstruct_path(dag, number)
+    assert sum(e.value for e in edges) == number
+    # The edge sequence is connected and starts at the entry.
+    assert edges[0].src == dag.entry
+    for first, second in zip(edges, edges[1:]):
+        assert first.dst == second.src

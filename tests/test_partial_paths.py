@@ -1,0 +1,87 @@
+"""Tests for partial-path reconstruction (the yieldpoint-free variant).
+
+The paper claims a partially taken path can be identified from the
+partial path number with the same greedy algorithm; the property test
+checks that claim exhaustively: for every full path and every prefix of
+it, reconstructing from (prefix sum, prefix endpoint) returns exactly
+that prefix.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PathReconstructionError
+from repro.profiling.ballarus import assign_ball_larus_values
+from repro.profiling.partial import nodes_reaching, reconstruct_partial
+
+from tests.helpers import diamond_loop_method
+from tests.test_cfg_dag import pep_dag_for
+from tests.test_numbering import double_diamond_dag, layered_dags
+
+
+def check_all_prefixes(dag):
+    """The exhaustive prefix property on one numbered DAG."""
+    assign_ball_larus_values(dag)
+    for path in dag.enumerate_paths():
+        running = 0
+        prefix = []
+        for edge in path:
+            running += edge.value
+            prefix.append(edge)
+            got = reconstruct_partial(dag, running, edge.dst)
+            assert [(e.src, e.dst, e.value) for e in got] == [
+                (e.src, e.dst, e.value) for e in prefix
+            ], f"prefix to {edge.dst} with value {running} misidentified"
+
+
+def test_prefixes_on_double_diamond():
+    check_all_prefixes(double_diamond_dag())
+
+
+def test_prefixes_on_pep_dag():
+    dag, _ = pep_dag_for(diamond_loop_method())
+    check_all_prefixes(dag)
+
+
+@settings(max_examples=40, deadline=None)
+@given(layered_dags())
+def test_prefix_property_on_random_dags(dag):
+    check_all_prefixes(dag)
+
+
+def test_nodes_reaching():
+    dag = double_diamond_dag()
+    assert nodes_reaching(dag, "a") == {"a"}
+    assert nodes_reaching(dag, "g") == set("abcdefg")
+    assert nodes_reaching(dag, "e") == {"a", "b", "c", "d", "e"}
+    with pytest.raises(PathReconstructionError):
+        nodes_reaching(dag, "ghost")
+
+
+def test_partial_at_entry_requires_zero():
+    dag = double_diamond_dag()
+    assign_ball_larus_values(dag)
+    assert reconstruct_partial(dag, 0, "a") == []
+    with pytest.raises(PathReconstructionError):
+        reconstruct_partial(dag, 1, "a")
+
+
+def test_inconsistent_value_rejected():
+    dag = double_diamond_dag()
+    n = assign_ball_larus_values(dag)
+    # The largest prefix sum to 'd' is 2 (via a->c); n-1=3 is impossible.
+    with pytest.raises(PathReconstructionError):
+        reconstruct_partial(dag, n - 1, "d")
+
+
+def test_unnumbered_dag_rejected():
+    dag = double_diamond_dag()
+    with pytest.raises(PathReconstructionError):
+        reconstruct_partial(dag, 0, "g")
+
+
+def test_negative_value_rejected():
+    dag = double_diamond_dag()
+    assign_ball_larus_values(dag)
+    with pytest.raises(PathReconstructionError):
+        reconstruct_partial(dag, -1, "g")

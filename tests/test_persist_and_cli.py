@@ -1,0 +1,152 @@
+"""Tests for profile/advice serialization and the CLI."""
+
+import json
+
+import pytest
+
+from repro.adaptive.replay import record_advice, replay_compile, run_iteration
+from repro.bytecode.method import BranchRef
+from repro.errors import AdviceError
+from repro.persist import (
+    advice_from_dict,
+    advice_to_dict,
+    edge_profile_from_dict,
+    edge_profile_to_dict,
+    load_advice,
+    path_profile_from_dict,
+    path_profile_to_dict,
+    save_advice,
+)
+from repro.profiling.edges import EdgeProfile
+from repro.profiling.paths import PathProfile
+from repro.__main__ import main
+
+from tests.test_adaptive_system import hot_loop_program
+
+
+def test_edge_profile_roundtrip():
+    profile = EdgeProfile()
+    profile.record(BranchRef("m", 0), True, 10)
+    profile.record(BranchRef("m", 0), False, 3)
+    profile.record(BranchRef("n", 5), False, 7)
+    data = edge_profile_to_dict(profile)
+    # Must be JSON-clean.
+    restored = edge_profile_from_dict(json.loads(json.dumps(data)))
+    assert restored.arm_count(BranchRef("m", 0), True) == 10
+    assert restored.arm_count(BranchRef("m", 0), False) == 3
+    assert restored.arm_count(BranchRef("n", 5), False) == 7
+    assert len(restored) == 2
+
+
+def test_path_profile_roundtrip():
+    profile = PathProfile()
+    profile.record("main#v0", 3, 5)
+    profile.record("main#v0", 9)
+    profile.record("other#v1", 0, 2.5)
+    restored = path_profile_from_dict(
+        json.loads(json.dumps(path_profile_to_dict(profile)))
+    )
+    assert restored.frequency("main#v0", 3) == 5
+    assert restored.frequency("main#v0", 9) == 1
+    assert restored.frequency("other#v1", 0) == 2.5
+
+
+def test_wrong_kind_rejected():
+    profile = EdgeProfile()
+    data = edge_profile_to_dict(profile)
+    with pytest.raises(AdviceError):
+        path_profile_from_dict(data)
+    with pytest.raises(AdviceError):
+        edge_profile_from_dict({"format": "nope"})
+
+
+def test_advice_roundtrip_replays_identically(tmp_path):
+    program = hot_loop_program(1500)
+    advice = record_advice(program, tick_interval=2000.0)
+
+    path = tmp_path / "advice.json"
+    save_advice(advice, str(path))
+    restored = load_advice(str(path))
+
+    assert restored.levels == advice.levels
+    assert restored.samples == advice.samples
+
+    original = run_iteration(replay_compile(program, advice))
+    replayed = run_iteration(replay_compile(program, restored))
+    assert original.cycles == replayed.cycles
+    assert original.output == replayed.output
+
+
+def test_advice_dict_none_levels_preserved():
+    program = hot_loop_program(50)
+    advice = record_advice(program, tick_interval=5000.0)
+    # Tiny run: some methods stay baseline (level None).
+    data = advice_to_dict(advice)
+    restored = advice_from_dict(json.loads(json.dumps(data)))
+    assert restored.levels == advice.levels
+
+
+# -- CLI -----------------------------------------------------------------------
+
+
+SOURCE = """
+fn helper(n) {
+    if (n % 2 == 0) { return n / 2; }
+    return 3 * n + 1;
+}
+fn main() {
+    let steps = 0;
+    let n = 27;
+    while (n != 1) {
+        n = helper(n);
+        steps = steps + 1;
+    }
+    emit steps;
+    return steps;
+}
+"""
+
+
+@pytest.fixture()
+def source_file(tmp_path):
+    path = tmp_path / "collatz.mj"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+def test_cli_run(source_file, capsys):
+    assert main(["run", source_file]) == 0
+    out = capsys.readouterr().out
+    assert "111" in out  # collatz steps for 27
+
+
+def test_cli_profile(source_file, capsys):
+    assert main(["profile", source_file, "--ticks", "50"]) == 0
+    out = capsys.readouterr().out
+    assert "hot paths" in out
+    assert "branch biases" in out
+    assert "helper#b0" in out
+
+
+def test_cli_profile_perfect(source_file, capsys):
+    assert main(["profile", source_file, "--perfect"]) == 0
+    out = capsys.readouterr().out
+    assert "perfect profile" in out
+
+
+def test_cli_disasm(source_file, capsys):
+    assert main(["disasm", source_file]) == 0
+    out = capsys.readouterr().out
+    assert "method main" in out
+    assert "method helper" in out
+
+
+def test_cli_bench_list(capsys):
+    assert main(["bench-list"]) == 0
+    out = capsys.readouterr().out
+    assert "compress" in out and "xalan" in out
+
+
+def test_cli_requires_command():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,67 @@
+"""Tests for path reconstruction and the PathResolver cache."""
+
+import pytest
+
+from repro.errors import PathReconstructionError
+from repro.profiling.ballarus import assign_ball_larus_values
+from repro.profiling.regenerate import PathResolver, reconstruct_path
+
+from tests.helpers import diamond_loop_method
+from tests.test_cfg_dag import pep_dag_for
+from tests.test_numbering import double_diamond_dag
+
+
+def test_reconstruct_all_paths_of_double_diamond():
+    dag = double_diamond_dag()
+    n = assign_ball_larus_values(dag)
+    seen = set()
+    for number in range(n):
+        edges = reconstruct_path(dag, number)
+        assert sum(e.value for e in edges) == number
+        seen.add(tuple((e.src, e.dst) for e in edges))
+    assert len(seen) == n  # all distinct paths
+
+
+def test_reconstruct_requires_numbering():
+    dag = double_diamond_dag()
+    with pytest.raises(PathReconstructionError):
+        reconstruct_path(dag, 0)
+
+
+def test_reconstruct_out_of_range():
+    dag = double_diamond_dag()
+    n = assign_ball_larus_values(dag)
+    with pytest.raises(PathReconstructionError):
+        reconstruct_path(dag, n)
+    with pytest.raises(PathReconstructionError):
+        reconstruct_path(dag, -1)
+
+
+def test_resolver_branch_events_and_lengths():
+    method = diamond_loop_method()
+    dag, _ = pep_dag_for(method)
+    n = assign_ball_larus_values(dag)
+    resolver = PathResolver(dag)
+    lengths = [resolver.branch_length(i) for i in range(n)]
+    # The entry->head path crosses no branch; loop-body paths cross
+    # head's branch is at the *end* (head is the path's endpoint, so its
+    # branch belongs to the next path) — body paths traverse body's branch.
+    assert min(lengths) >= 0
+    assert max(lengths) >= 1
+    for i in range(n):
+        for branch, taken in resolver.branch_events(i):
+            assert branch.method == "m"
+            assert isinstance(taken, bool)
+
+
+def test_resolver_caches():
+    method = diamond_loop_method()
+    dag, _ = pep_dag_for(method)
+    assign_ball_larus_values(dag)
+    resolver = PathResolver(dag)
+    assert not resolver.is_cached(0)
+    resolver.branch_events(0)
+    assert resolver.is_cached(0)
+    assert resolver.cached_count() == 1
+    resolver.branch_events(0)
+    assert resolver.cached_count() == 1

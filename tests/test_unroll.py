@@ -1,0 +1,141 @@
+"""Tests for the loop-unrolling (body replication) pass."""
+
+import pytest
+
+from repro.adaptive.optimizing import optimize_method
+from repro.adaptive.unroll import unroll_simple_loops
+from repro.bytecode.builder import ProgramBuilder
+from repro.bytecode.method import BranchRef
+from repro.bytecode.validate import verify_method
+from repro.vm.costs import CostModel
+from repro.vm.runtime import VirtualMachine
+
+from tests.compile_util import run_program
+from tests.helpers import counting_program
+
+
+def simple_loop_program(iters=50):
+    pb = ProgramBuilder("p")
+    f = pb.function("main")
+    total = f.local(0)
+    i = f.local(0)
+
+    def body():
+        f.assign(total, (total + i * 3) & 0xFFFF)
+        f.assign(i, i + 1)
+
+    f.while_(lambda: i < iters, body)
+    f.emit(total)
+    f.ret(total)
+    return pb.build()
+
+
+def test_unroll_replicates_body():
+    program = simple_loop_program()
+    main = program.clone().method("main")
+    before = len(main.blocks)
+    assert unroll_simple_loops(main) == 1
+    assert len(main.blocks) == before + 2  # header clone + body clone
+    verify_method(main)
+
+
+def test_unroll_preserves_semantics():
+    program = simple_loop_program(137)
+    expected = run_program(program)[1].output
+
+    clone = program.clone()
+    unroll_simple_loops(clone.method("main"))
+    assert run_program(clone)[1].output == expected
+
+
+def test_unroll_shares_bytecode_branch():
+    program = simple_loop_program()
+    clone = program.clone()
+    main = clone.method("main")
+    unroll_simple_loops(main)
+    origins = [term.origin for _, term in main.iter_branches()]
+    # Two IR branches, one bytecode branch id.
+    assert len(origins) == 2
+    assert origins[0] == origins[1]
+
+
+def test_unrolled_edge_counts_accumulate_into_one_counter():
+    program = simple_loop_program(100)
+    clone = program.clone()
+    main = clone.method("main")
+    unroll_simple_loops(main)
+    from repro.instrument.edge_instr import apply_edge_instrumentation
+    from repro.vm.interpreter import lower_method
+
+    apply_edge_instrumentation(main)
+    costs = CostModel()
+    code = {"main": lower_method(main, "opt2", costs)}
+    vm = VirtualMachine(code, "main", costs=costs)
+    vm.run()
+    branch = BranchRef("main", 0)
+    # 100 loop-continuations + 1 exit test, all on one bytecode branch.
+    assert vm.edge_profile.total(branch) == 101
+
+
+def test_unroll_skips_ineligible_loops():
+    # Body with an internal branch -> multi-block body -> not eligible.
+    pb = ProgramBuilder("p")
+    f = pb.function("main")
+    i = f.local(0)
+    t = f.local(0)
+
+    def body():
+        f.if_((i & 1).eq(0), lambda: f.assign(t, t + 1))
+        f.assign(i, i + 1)
+
+    f.while_(lambda: i < 10, body)
+    f.ret(t)
+    program = pb.build()
+    main = program.method("main")
+    assert unroll_simple_loops(main) == 0
+
+
+def test_unroll_respects_limits():
+    program = simple_loop_program()
+    main = program.clone().method("main")
+    assert unroll_simple_loops(main, max_body_size=0) == 0
+    main2 = program.clone().method("main")
+    assert unroll_simple_loops(main2, max_unrolls=0) == 0
+
+
+def test_optimizer_unroll_flag_end_to_end():
+    program = counting_program(60)
+    expected = run_program(program)[1].output
+
+    costs = CostModel()
+    code = {}
+    for method in program.iter_methods():
+        cm, _ = optimize_method(
+            method, program, 2, None, costs, instrumentation="pep", unroll=True
+        )
+        code[method.name] = cm
+    vm = VirtualMachine(code, "main", costs=costs)
+    result = vm.run()
+    assert result.output == expected
+
+
+def test_unrolled_pep_profiles_still_exact():
+    """Full path profiling must still expand to exact edge counts."""
+    program = simple_loop_program(80)
+    costs = CostModel()
+    code = {}
+    for method in program.iter_methods():
+        cm, _ = optimize_method(
+            method, program, 2, None, costs,
+            instrumentation="full-path", unroll=True,
+        )
+        code[method.name] = cm
+    vm = VirtualMachine(code, "main", costs=costs)
+    vm.run()
+
+    from tests.compile_util import expand_path_profile
+
+    derived = expand_path_profile(vm, code)
+    branch = BranchRef("main", 0)
+    assert derived.total(branch) == 81  # 80 continuations + 1 exit
+    assert derived.arm_count(branch, True) == 80

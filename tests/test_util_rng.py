@@ -1,0 +1,107 @@
+"""Tests for the deterministic RNG."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.rng import DeterministicRng, stable_hash
+
+
+def test_same_seed_same_stream():
+    a = DeterministicRng(42)
+    b = DeterministicRng(42)
+    assert [a.next_u32() for _ in range(50)] == [b.next_u32() for _ in range(50)]
+
+
+def test_different_seeds_diverge():
+    a = DeterministicRng(1)
+    b = DeterministicRng(2)
+    assert [a.next_u32() for _ in range(8)] != [b.next_u32() for _ in range(8)]
+
+
+def test_from_name_is_stable():
+    assert (
+        DeterministicRng.from_name("compress").next_u32()
+        == DeterministicRng.from_name("compress").next_u32()
+    )
+    assert (
+        DeterministicRng.from_name("compress").next_u32()
+        != DeterministicRng.from_name("jess").next_u32()
+    )
+
+
+def test_stable_hash_known_value():
+    # FNV-1a of the empty string is the offset basis.
+    assert stable_hash("") == 0xCBF29CE484222325
+    assert stable_hash("a") != stable_hash("b")
+
+
+@given(st.integers(min_value=-100, max_value=100), st.integers(min_value=0, max_value=200))
+def test_randint_in_range(low, span):
+    rng = DeterministicRng(7)
+    high = low + span
+    for _ in range(20):
+        value = rng.randint(low, high)
+        assert low <= value <= high
+
+
+def test_randint_empty_range_raises():
+    with pytest.raises(ValueError):
+        DeterministicRng(0).randint(5, 4)
+
+
+def test_random_in_unit_interval():
+    rng = DeterministicRng(3)
+    for _ in range(100):
+        x = rng.random()
+        assert 0.0 <= x < 1.0
+
+
+def test_choice_and_empty_choice():
+    rng = DeterministicRng(9)
+    items = ["x", "y", "z"]
+    for _ in range(20):
+        assert rng.choice(items) in items
+    with pytest.raises(ValueError):
+        rng.choice([])
+
+
+def test_shuffle_is_permutation():
+    rng = DeterministicRng(11)
+    items = list(range(30))
+    shuffled = list(items)
+    rng.shuffle(shuffled)
+    assert sorted(shuffled) == items
+
+
+def test_sample_weights_respects_zero_weight():
+    rng = DeterministicRng(13)
+    for _ in range(50):
+        assert rng.sample_weights([0.0, 1.0, 0.0]) == 1
+
+
+def test_sample_weights_requires_positive_total():
+    with pytest.raises(ValueError):
+        DeterministicRng(1).sample_weights([0.0, 0.0])
+
+
+def test_sample_weights_distribution_roughly_proportional():
+    rng = DeterministicRng(17)
+    counts = [0, 0]
+    for _ in range(2000):
+        counts[rng.sample_weights([1.0, 3.0])] += 1
+    assert counts[1] > counts[0] * 2  # expect ~3x
+
+
+def test_split_streams_are_independent():
+    parent = DeterministicRng(5)
+    child_a = parent.split(1)
+    child_b = parent.split(2)
+    assert [child_a.next_u32() for _ in range(5)] != [
+        child_b.next_u32() for _ in range(5)
+    ]
+
+
+def test_chance_extremes():
+    rng = DeterministicRng(23)
+    assert not any(rng.chance(0.0) for _ in range(50))
+    assert all(rng.chance(1.0) for _ in range(50))

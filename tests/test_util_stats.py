@@ -1,0 +1,94 @@
+"""Tests for statistics helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.stats import (
+    arithmetic_mean,
+    geometric_mean,
+    median,
+    normalize,
+    overhead_summary,
+    percent,
+    weighted_mean,
+)
+
+
+def test_arithmetic_mean():
+    assert arithmetic_mean([1.0, 2.0, 3.0]) == 2.0
+    with pytest.raises(ValueError):
+        arithmetic_mean([])
+
+
+def test_geometric_mean_basics():
+    assert geometric_mean([4.0, 1.0]) == pytest.approx(2.0)
+    with pytest.raises(ValueError):
+        geometric_mean([])
+    with pytest.raises(ValueError):
+        geometric_mean([1.0, 0.0])
+
+
+@given(st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=1, max_size=20))
+def test_geometric_le_arithmetic(values):
+    assert geometric_mean(values) <= arithmetic_mean(values) + 1e-9
+
+
+def test_median_odd_even():
+    assert median([3.0, 1.0, 2.0]) == 2.0
+    assert median([4.0, 1.0, 2.0, 3.0]) == 2.5
+    with pytest.raises(ValueError):
+        median([])
+
+
+def test_weighted_mean():
+    assert weighted_mean([(1.0, 1.0), (3.0, 3.0)]) == pytest.approx(2.5)
+    with pytest.raises(ValueError):
+        weighted_mean([(1.0, 0.0)])
+
+
+def test_normalize():
+    values = {"a": 110.0, "b": 95.0}
+    base = {"a": 100.0, "b": 100.0}
+    result = normalize(values, base)
+    assert result["a"] == pytest.approx(1.10)
+    assert result["b"] == pytest.approx(0.95)
+
+
+def test_normalize_missing_base_raises():
+    with pytest.raises(KeyError):
+        normalize({"a": 1.0}, {})
+
+
+def test_normalize_zero_base_raises():
+    with pytest.raises(ValueError):
+        normalize({"a": 1.0}, {"a": 0.0})
+
+
+def test_percent_formatting():
+    assert percent(1.012) == "+1.2%"
+    assert percent(0.988) == "-1.2%"
+    assert percent(1.0) == "+0.0%"
+
+
+def test_overhead_summary():
+    avg, worst = overhead_summary({"a": 1.01, "b": 1.03})
+    assert avg == pytest.approx(0.02)
+    assert worst == pytest.approx(0.03)
+    with pytest.raises(ValueError):
+        overhead_summary({})
+
+
+@given(
+    st.dictionaries(
+        st.text(min_size=1, max_size=5),
+        st.floats(min_value=0.5, max_value=2.0),
+        min_size=1,
+        max_size=10,
+    )
+)
+def test_overhead_summary_max_ge_avg(normalized):
+    avg, worst = overhead_summary(normalized)
+    assert worst >= avg - 1e-12
+    assert math.isfinite(avg)

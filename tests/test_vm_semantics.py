@@ -1,0 +1,226 @@
+"""Tests of guest-program semantics under the interpreter."""
+
+import pytest
+
+from repro.bytecode.builder import ProgramBuilder
+from repro.errors import FuelExhaustedError, GuestTrapError, VMError
+from repro.vm.costs import CostModel
+from repro.vm.runtime import VirtualMachine
+
+from tests.compile_util import compile_simple, run_program
+from tests.helpers import call_program, counting_program
+
+
+def single(fn_body, name="main"):
+    pb = ProgramBuilder("t")
+    f = pb.function(name)
+    fn_body(f)
+    return pb.build()
+
+
+def test_counting_program_output():
+    program = counting_program(10)
+    _, result = run_program(program)
+    # even i: += i (0+2+4+6+8=20); odd i: += 1 (5 times) => 25
+    assert result.output == [25]
+    assert result.return_value == 25
+
+
+def test_arithmetic_semantics():
+    def body(f):
+        a = f.local(7)
+        b = f.local(3)
+        f.emit(a + b)          # 10
+        f.emit(a - b)          # 4
+        f.emit(a * b)          # 21
+        f.emit(a // b)         # 2
+        f.emit(a % b)          # 1
+        f.emit(a & b)          # 3
+        f.emit(a | b)          # 7
+        f.emit(a ^ b)          # 4
+        f.emit(a << 2)         # 28
+        f.emit(a >> 1)         # 3
+        f.emit(-a)             # -7
+        f.emit(f.bool(a < b))  # 0
+        f.emit(f.bool(a > b))  # 1
+        f.ret()
+
+    _, result = run_program(single(body))
+    assert result.output == [10, 4, 21, 2, 1, 3, 7, 4, 28, 3, -7, 0, 1]
+
+
+def test_array_semantics():
+    def body(f):
+        arr = f.array(f.const(5))
+        f.for_range(0, 5, 1, lambda i: f.store(arr, i, i * i))
+        total = f.local(0)
+        f.for_range(0, 5, 1, lambda i: f.assign(total, total + f.load(arr, i)))
+        f.emit(total)  # 0+1+4+9+16 = 30
+        f.emit(f.length(arr))
+        f.ret()
+
+    _, result = run_program(single(body))
+    assert result.output == [30, 5]
+
+
+def test_calls_and_returns():
+    program = call_program()
+    _, result = run_program(program)
+    # helper(i) = i+100 for i<5 else i  => sum = (100..104)+(5..9)=510+35
+    assert result.output == [sum(i + 100 for i in range(5)) + sum(range(5, 10))]
+
+
+def test_recursion():
+    pb = ProgramBuilder("rec")
+    fib = pb.function("fib", ["n"])
+    n = fib.p("n")
+    fib.if_(
+        n < 2,
+        lambda: fib.ret(n),
+        lambda: fib.ret(fib.call("fib", n - 1) + fib.call("fib", n - 2)),
+    )
+    main = pb.function("main")
+    main.emit(main.call("fib", 12))
+    main.ret()
+    _, result = run_program(pb.build())
+    assert result.output == [144]
+
+
+def test_division_by_zero_traps():
+    def body(f):
+        z = f.local(0)
+        f.emit(f.const(1) // z)
+        f.ret()
+
+    with pytest.raises(GuestTrapError):
+        run_program(single(body))
+
+
+def test_modulo_by_zero_traps():
+    def body(f):
+        z = f.local(0)
+        f.emit(f.const(1) % z)
+        f.ret()
+
+    with pytest.raises(GuestTrapError):
+        run_program(single(body))
+
+
+def test_array_bounds_trap():
+    def body(f):
+        arr = f.array(f.const(2))
+        f.emit(f.load(arr, 5))
+        f.ret()
+
+    with pytest.raises(GuestTrapError):
+        run_program(single(body))
+
+
+def test_negative_index_traps():
+    def body(f):
+        arr = f.array(f.const(2))
+        idx = f.local(-1)
+        f.emit(f.load(arr, idx))
+        f.ret()
+
+    with pytest.raises(GuestTrapError):
+        run_program(single(body))
+
+
+def test_load_from_non_array_traps():
+    pb = ProgramBuilder("t")
+    f = pb.function("main")
+    x = f.local(3)
+    from repro.bytecode.instructions import ALoad
+
+    # Hand-inject an aload from an int register.
+    dst = f.local(0)
+    f.ret(dst)
+    program = pb.build()
+    main = program.main_method()
+    first_block = main.entry_block()
+    first_block.instrs.insert(2, ALoad(dst.reg, x.reg, x.reg))
+    with pytest.raises(GuestTrapError):
+        run_program(program)
+
+
+def test_fuel_exhaustion():
+    def body(f):
+        i = f.local(0)
+        f.while_(lambda: i < 10**9, lambda: f.assign(i, i + 1))
+        f.ret()
+
+    with pytest.raises(FuelExhaustedError):
+        run_program(single(body), fuel=10_000)
+
+
+def test_stack_overflow_traps():
+    pb = ProgramBuilder("deep")
+    f = pb.function("dig", ["n"])
+    f.ret(f.call("dig", f.p("n") + 1))
+    main = pb.function("main")
+    main.emit(main.call("dig", 0))
+    main.ret()
+    with pytest.raises(GuestTrapError):
+        run_program(pb.build())
+
+
+def test_unknown_main_rejected():
+    program = counting_program()
+    code = compile_simple(program)
+    with pytest.raises(VMError):
+        VirtualMachine(code, "missing")
+
+
+def test_instrumentation_preserves_semantics():
+    program = counting_program(25)
+    outputs = {}
+    for mode in (None, "pep", "full-hash", "classic", "edges"):
+        _, result = run_program(program, mode=mode)
+        outputs[mode] = (tuple(result.output), result.return_value)
+    assert len(set(outputs.values())) == 1
+
+
+def test_deterministic_cycles():
+    program = counting_program(25)
+    _, r1 = run_program(program)
+    _, r2 = run_program(program)
+    assert r1.cycles == r2.cycles
+    assert r1.output == r2.output
+
+
+def test_costs_scale_with_tier():
+    program = counting_program(25)
+    costs = CostModel()
+    code_opt = compile_simple(program, costs=costs, tier="opt2")
+    code_base = compile_simple(program, costs=costs, tier="baseline")
+    cyc_opt = VirtualMachine(code_opt, "main", costs=costs).run().cycles
+    cyc_base = VirtualMachine(code_base, "main", costs=costs).run().cycles
+    assert cyc_base > cyc_opt * 2.5  # baseline ~3x slower
+
+
+def test_mislayout_penalty_charged():
+    # A branch always taken: layout 'then' (fallthrough) vs layout 'else'.
+    def body(f):
+        i = f.local(0)
+        total = f.local(0)
+
+        def loop(i_var):
+            f.if_(i_var >= 0, lambda: f.assign(total, total + 1))
+
+        f.for_range(0, 100, 1, loop)
+        f.emit(total)
+        f.ret()
+
+    program = single(body)
+    costs = CostModel()
+    code = compile_simple(program, costs=costs)
+    good = VirtualMachine(code, "main", costs=costs).run().cycles
+
+    flipped = program.clone()
+    for method in flipped.iter_methods():
+        for _, term in method.iter_branches():
+            term.layout = "else" if term.layout == "then" else "then"
+    code2 = compile_simple(flipped, costs=costs)
+    bad = VirtualMachine(code2, "main", costs=costs).run().cycles
+    assert bad > good
