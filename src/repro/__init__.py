@@ -18,6 +18,7 @@ Public entry points:
 * :mod:`repro.metrics` — Wall matching, overlap, overhead summaries
 * :mod:`repro.workloads` — synthetic SPEC JVM98 / DaCapo-like benchmarks
 * :mod:`repro.harness` — experiment driver used by the benches
+* :mod:`repro.resilience` — fault injection + graceful degradation
 * :mod:`repro.api` — one-call profiling (``api.profile(program)``)
 * :mod:`repro.persist` — JSON advice files and profile serialization
 * ``python -m repro`` — CLI: run/profile/disasm MiniJ programs

@@ -5,6 +5,8 @@ Usage::
     python -m repro run program.mj            # execute, print output
     python -m repro profile program.mj        # PEP(64,17) profile
     python -m repro profile --perfect p.mj    # full-instrumentation profile
+    python -m repro profile --adaptive --inject opt-compile=0.1 p.mj
+                                              # adaptive run under faults
     python -m repro disasm program.mj         # compiled bytecode listing
     python -m repro bench-list                # the paper's workload suite
 """
@@ -47,16 +49,34 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_profile(args: argparse.Namespace) -> int:
     from repro import api
+    from repro.resilience import FaultPlan
+
+    fault_plan = None
+    if args.inject:
+        fault_plan = FaultPlan.parse(args.inject, seed=args.fault_seed)
 
     program = _load_program(args.source)
-    report = api.profile(
-        program,
-        samples=args.samples,
-        stride=args.stride,
-        ticks=args.ticks,
-        perfect=args.perfect,
-    )
-    mode = "perfect" if args.perfect else f"PEP({args.samples},{args.stride})"
+    if args.adaptive:
+        report = api.profile_adaptive(
+            program,
+            samples=args.samples,
+            stride=args.stride,
+            ticks=args.ticks,
+            fault_plan=fault_plan,
+        )
+        mode = f"adaptive PEP({args.samples},{args.stride})"
+    else:
+        report = api.profile(
+            program,
+            samples=args.samples,
+            stride=args.stride,
+            ticks=args.ticks,
+            perfect=args.perfect,
+            fault_plan=fault_plan,
+        )
+        mode = (
+            "perfect" if args.perfect else f"PEP({args.samples},{args.stride})"
+        )
     print(f"# {mode} profile of {args.source}")
     print(f"overhead: {report.overhead * 100:.2f}%")
     if not args.perfect:
@@ -70,6 +90,11 @@ def cmd_profile(args: argparse.Namespace) -> int:
     print("branch biases:")
     for branch, bias in sorted(report.branch_biases().items()):
         print(f"  {str(branch):28s} {bias * 100:6.1f}% taken")
+    if report.health is not None:
+        print()
+        print("run health:")
+        for line in report.health.summary().splitlines():
+            print(f"  {line}")
     return 0
 
 
@@ -108,6 +133,27 @@ def build_parser() -> argparse.ArgumentParser:
     prof_p.add_argument("--ticks", type=int, default=200)
     prof_p.add_argument("--top", type=int, default=10)
     prof_p.add_argument("--perfect", action="store_true")
+    prof_p.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="profile under the full adaptive system (baseline -> opt "
+        "promotion, resilience layer always on)",
+    )
+    prof_p.add_argument(
+        "--inject",
+        action="append",
+        default=[],
+        metavar="SITE=PROB[:MAX]",
+        help="inject deterministic faults, e.g. --inject opt-compile=0.1 "
+        "--inject path-reconstruct=0.05:3 (sites: opt-compile, sample, "
+        "path-reconstruct, path-table, advice-load)",
+    )
+    prof_p.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for the fault-injection RNG streams (default 0)",
+    )
     prof_p.set_defaults(func=cmd_profile)
 
     dis_p = sub.add_parser("disasm", help="print compiled bytecode")

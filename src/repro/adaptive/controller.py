@@ -13,6 +13,8 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.bytecode.method import Program
+from repro.errors import CompilationError
+from repro.profiling.regenerate import PathResolver
 from repro.sampling.arnold_grove import (
     ArnoldGroveSampler,
     SamplingConfig,
@@ -54,14 +56,23 @@ class AdaptiveSystem:
         program: Program,
         costs: Optional[CostModel] = None,
         config: Optional[AdaptiveConfig] = None,
+        resilience=None,
     ) -> None:
         self.program = program
         self.costs = costs if costs is not None else CostModel()
         self.config = config if config is not None else AdaptiveConfig()
+        # Fault-injection + degradation layer (repro.resilience).  When
+        # present, a failed opt-compile keeps the current body and backs
+        # off instead of aborting the run.
+        self.resilience = resilience
         self.samples: Dict[str, int] = {}
         self.levels: Dict[str, Optional[int]] = {}  # None = baseline
         self.versions: Dict[str, int] = {}
         self.compile_log: List[Tuple[str, int]] = []
+        # Resolver of every PEP-instrumented compiled version, keyed by
+        # profile key, so path profiles of superseded versions stay
+        # interpretable after recompilation.
+        self.resolvers: Dict[str, PathResolver] = {}
         self.startup_compile_cycles = 0.0
         self.code: Dict[str, CompiledMethod] = {}
         self._bootstrap()
@@ -95,6 +106,7 @@ class AdaptiveSystem:
             method_sample_listener=self.on_method_sample,
             tick_jitter=tick_jitter,
             jitter_seed=jitter_seed,
+            resilience=self.resilience,
         )
         # Startup (baseline) compilation happened before main ran, but it
         # is part of the program's wall-clock just the same.
@@ -122,20 +134,47 @@ class AdaptiveSystem:
         method = self.program.methods.get(source_name)
         if method is None:
             return 0.0
+
+        resilience = self.resilience
+        instrumentation = self.config.instrumentation
+        injector = None
+        if resilience is not None:
+            if not resilience.compile_allowed(source_name, count):
+                # Blacklisted, or still inside the retry backoff window:
+                # keep running the current (baseline or lower-tier) body.
+                return 0.0
+            instrumentation = resilience.instrumentation_for(
+                source_name, instrumentation
+            )
+            injector = resilience.injector
+
         version = self.versions[source_name] + 1
-        cm, compile_cycles = optimize_method(
-            method,
-            self.program,
-            target,
-            vm.edge_profile,
-            self.costs,
-            version=version,
-            instrumentation=self.config.instrumentation,
-        )
+        try:
+            cm, compile_cycles = optimize_method(
+                method,
+                self.program,
+                target,
+                vm.edge_profile,
+                self.costs,
+                version=version,
+                instrumentation=instrumentation,
+                injector=injector,
+            )
+        except CompilationError as exc:
+            if resilience is None:
+                raise
+            # Jikes-style fallback: the method keeps its current body and
+            # the controller retries later with exponential backoff.
+            resilience.note_compile_failure(source_name, count, exc)
+            return 0.0
+        if resilience is not None:
+            resilience.note_compile_success(source_name)
         vm.code[source_name] = cm
         self.code[source_name] = cm
         self.levels[source_name] = target
         self.versions[source_name] = version
         self.compile_log.append((source_name, target))
+        if cm.resolver is not None:
+            self.resolvers[cm.profile_key] = cm.resolver
         vm.charge_compile(compile_cycles)
         return compile_cycles

@@ -59,6 +59,7 @@ def optimize_method(
     version: int = 0,
     instrumentation: Optional[str] = None,
     unroll: bool = False,
+    injector=None,
 ) -> Tuple[CompiledMethod, float]:
     """Compile one method at opt level 0-2 with optional instrumentation.
 
@@ -66,6 +67,11 @@ def optimize_method(
     (:mod:`repro.adaptive.unroll`), the paper's other source of multiple
     IR branches per bytecode branch.  It is off by default so the
     benchmark suite's path structure stays comparable across runs.
+
+    ``injector`` (a :class:`repro.resilience.FaultInjector`) may force a
+    deterministic :class:`CompilationError` at the ``opt-compile`` site;
+    callers with a :class:`~repro.resilience.ResilienceManager` treat it
+    like any real compile failure (keep the current body, back off).
 
     Returns the compiled method and the compile-time cycles charged
     (including PEP's extra pass cost when instrumenting).
@@ -75,6 +81,10 @@ def optimize_method(
     if instrumentation not in INSTRUMENTATION_MODES:
         raise CompilationError(
             f"unknown instrumentation mode {instrumentation!r}"
+        )
+    if injector is not None and injector.should_fire("opt-compile", method.name):
+        raise CompilationError(
+            f"{method.name}: injected opt-compile fault (level {level})"
         )
 
     clone = method.clone()

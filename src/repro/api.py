@@ -33,8 +33,12 @@ from repro.profiling.edges import EdgeProfile
 from repro.profiling.flow import profile_flows
 from repro.profiling.paths import PathProfile
 from repro.profiling.regenerate import PathResolver
+from repro.resilience import DegradationPolicy, FaultPlan, ResilienceManager
 from repro.sampling.arnold_grove import ArnoldGroveSampler, SamplingConfig
+from repro.adaptive.baseline import compile_baseline
+from repro.adaptive.controller import AdaptiveConfig, AdaptiveSystem
 from repro.adaptive.optimizing import optimize_method
+from repro.errors import CompilationError
 from repro.vm.costs import CostModel
 from repro.vm.interpreter import CompiledMethod
 from repro.vm.runtime import RunResult, VirtualMachine
@@ -61,6 +65,11 @@ class ProfileReport:
     def overhead(self) -> float:
         """Fractional execution overhead vs the uninstrumented dry run."""
         return self.result.cycles / self.base_cycles - 1.0
+
+    @property
+    def health(self):
+        """The run's :class:`~repro.resilience.HealthReport`, or None."""
+        return self.result.health
 
     def flows(self) -> Dict[Tuple[str, int], float]:
         """Branch-flow of every profiled path (freq x branch length)."""
@@ -103,15 +112,40 @@ def _compile_all(
     costs: CostModel,
     instrumentation: Optional[str],
     opt_level: int,
+    resilience: Optional[ResilienceManager] = None,
 ) -> Dict[str, CompiledMethod]:
+    injector = resilience.injector if resilience is not None else None
     code: Dict[str, CompiledMethod] = {}
     for method in program.iter_methods():
-        cm, _cycles = optimize_method(
-            method, program, opt_level, None, costs,
-            instrumentation=instrumentation,
-        )
+        inst = instrumentation
+        if resilience is not None:
+            inst = resilience.instrumentation_for(method.name, inst)
+        try:
+            cm, _cycles = optimize_method(
+                method, program, opt_level, None, costs,
+                instrumentation=inst, injector=injector,
+            )
+        except CompilationError as exc:
+            if resilience is None:
+                raise
+            # Failed opt-compile: keep going with a baseline body, as the
+            # paper's substrate does.
+            resilience.note_compile_failure(method.name, 0, exc)
+            cm, _cycles = compile_baseline(method, costs, version=0)
         code[method.name] = cm
     return code
+
+
+def _make_resilience(
+    fault_plan: Optional[FaultPlan],
+    resilience: Optional[ResilienceManager],
+    policy: Optional[DegradationPolicy] = None,
+) -> Optional[ResilienceManager]:
+    if resilience is not None:
+        return resilience
+    if fault_plan is not None or policy is not None:
+        return ResilienceManager(plan=fault_plan, policy=policy)
+    return None
 
 
 def profile(
@@ -123,25 +157,37 @@ def profile(
     perfect: bool = False,
     costs: Optional[CostModel] = None,
     fuel: int = 500_000_000,
+    fault_plan: Optional[FaultPlan] = None,
+    resilience: Optional[ResilienceManager] = None,
 ) -> ProfileReport:
     """Profile ``program`` with PEP(samples, stride); see module docstring.
 
     ``perfect=True`` uses full instrumentation-based path profiling
     instead of sampling (section 5.1): exact profiles, much higher
     overhead.
+
+    ``fault_plan`` (or a prebuilt ``resilience`` manager) attaches the
+    fault-injection + graceful-degradation layer: injected compile and
+    profiling faults are absorbed by the degradation policies and the
+    report's :attr:`~ProfileReport.health` ledger records them.
     """
     verify_program(program)
     costs = costs if costs is not None else CostModel()
+    resilience = _make_resilience(fault_plan, resilience)
 
     # Dry run: measure Base cycles to calibrate the timer (and overhead).
+    # Deliberately compiled without the injector — calibration is not part
+    # of the system under test.
     base_code = _compile_all(program, costs, None, opt_level)
     base_vm = VirtualMachine(base_code, program.main, costs=costs)
     base_result = base_vm.run(fuel=fuel)
 
     mode = "full-path" if perfect else "pep"
-    code = _compile_all(program, costs, mode, opt_level)
+    code = _compile_all(program, costs, mode, opt_level, resilience)
     if perfect:
-        vm = VirtualMachine(code, program.main, costs=costs)
+        vm = VirtualMachine(
+            code, program.main, costs=costs, resilience=resilience
+        )
     else:
         vm = VirtualMachine(
             code,
@@ -149,6 +195,7 @@ def profile(
             costs=costs,
             tick_interval=max(base_result.cycles / ticks, 1.0),
             sampler=ArnoldGroveSampler(SamplingConfig(samples, stride)),
+            resilience=resilience,
         )
     result = vm.run(fuel=fuel)
 
@@ -161,6 +208,62 @@ def profile(
         paths=vm.path_profile,
         edges=_final_edges(vm, resolvers, perfect),
         resolvers=resolvers,
+        result=result,
+        base_cycles=base_result.cycles,
+    )
+
+
+def profile_adaptive(
+    program: Program,
+    samples: int = 64,
+    stride: int = 17,
+    ticks: int = 200,
+    costs: Optional[CostModel] = None,
+    fuel: int = 500_000_000,
+    thresholds: Optional[Tuple[Tuple[int, int], ...]] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    policy: Optional[DegradationPolicy] = None,
+    resilience: Optional[ResilienceManager] = None,
+) -> ProfileReport:
+    """Profile ``program`` under the full adaptive system (section 4.1).
+
+    Methods start baseline-compiled and are promoted by timer samples,
+    with PEP collecting continuously — the paper's production
+    configuration.  Unlike :func:`profile`, the resilience layer is
+    *always* attached (a production VM degrades, it does not crash), so
+    the returned report's :attr:`~ProfileReport.health` is never None;
+    pass ``fault_plan`` to additionally inject deterministic faults into
+    opt-compilation, sampling, and path regeneration.
+    """
+    verify_program(program)
+    costs = costs if costs is not None else CostModel()
+    resilience = _make_resilience(fault_plan, resilience, policy)
+    if resilience is None:
+        resilience = ResilienceManager()
+
+    # Dry run on plain optimized code: calibrates the timer and the
+    # overhead denominator, exactly as profile() does.
+    base_code = _compile_all(program, costs, None, 2)
+    base_vm = VirtualMachine(base_code, program.main, costs=costs)
+    base_result = base_vm.run(fuel=fuel)
+
+    config = (
+        AdaptiveConfig(
+            thresholds=thresholds, pep=SamplingConfig(samples, stride)
+        )
+        if thresholds is not None
+        else AdaptiveConfig(pep=SamplingConfig(samples, stride))
+    )
+    system = AdaptiveSystem(
+        program, costs=costs, config=config, resilience=resilience
+    )
+    vm = system.make_vm(tick_interval=max(base_result.cycles / ticks, 1.0))
+    result = vm.run(fuel=fuel)
+
+    return ProfileReport(
+        paths=vm.path_profile,
+        edges=vm.edge_profile,
+        resolvers=dict(system.resolvers),
         result=result,
         base_cycles=base_result.cycles,
     )

@@ -48,11 +48,48 @@ class VMError(ReproError):
     """Guest program failure: traps, stack overflow, fuel exhaustion."""
 
 
-class GuestTrapError(VMError):
+class LocatedVMError(VMError):
+    """A VM failure annotated with where and when it happened.
+
+    Carries the faulting compiled method (profile key), block label,
+    instruction index within the block, and virtual cycles consumed, so a
+    watchdog abort is diagnosable from the message alone.  All context
+    fields are optional; missing ones are simply omitted from the message.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        method=None,
+        block=None,
+        instruction_index=None,
+        cycles=None,
+    ) -> None:
+        self.base_message = message
+        self.method = method
+        self.block = block
+        self.instruction_index = instruction_index
+        self.cycles = cycles
+        parts = []
+        if method is not None:
+            where = str(method)
+            if block is not None:
+                where += f" at {block}"
+                if instruction_index is not None:
+                    where += f"[{instruction_index}]"
+            parts.append(f"in {where}")
+        if cycles is not None:
+            parts.append(f"after {cycles:.0f} cycles")
+        if parts:
+            message = f"{message} ({', '.join(parts)})"
+        super().__init__(message)
+
+
+class GuestTrapError(LocatedVMError):
     """The guest program performed an illegal operation (e.g. div by 0)."""
 
 
-class FuelExhaustedError(VMError):
+class FuelExhaustedError(LocatedVMError):
     """The interpreter hit its instruction budget before the guest halted."""
 
 
@@ -66,6 +103,26 @@ class AdviceError(ReproError):
 
 class WorkloadError(ReproError):
     """A synthetic workload was configured with invalid parameters."""
+
+
+class StatsError(ReproError, ValueError):
+    """A statistics helper was given unusable input (empty, non-positive).
+
+    Also a :class:`ValueError` so pre-existing callers keep working; the
+    :class:`ReproError` base is what makes the "catch ``ReproError`` for
+    any library failure" contract hold.
+    """
+
+
+class MissingBaseError(StatsError, KeyError):
+    """Normalization was asked for a benchmark with no base measurement."""
+
+    def __str__(self) -> str:  # KeyError.__str__ would repr() the message
+        return Exception.__str__(self)
+
+
+class TableError(ReproError, ValueError):
+    """A table or figure renderer was given unusable input."""
 
 
 class LangError(ReproError):

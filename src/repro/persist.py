@@ -8,12 +8,25 @@ This module provides the equivalent: dict/JSON round-tripping for
 :class:`~repro.profiling.paths.PathProfile`, and
 :class:`~repro.adaptive.replay.Advice`, so a recorded training run can
 be saved to disk and replayed in a different process.
+
+Profile data is treated as *untrusted input* (cf. Hardware Counted PGO
+in PAPERS.md): writes are atomic (temp file + ``os.replace``) and carry
+a payload checksum verified on load; loads validate every count
+(rejecting negative/NaN/infinite values) and convert any parse failure
+into :class:`~repro.errors.AdviceError`, so a corrupt file can never
+crash a run with an unhandled exception.  For the graceful path — a
+corrupt advice file degrading to a no-advice run with a recorded
+warning — see :func:`load_advice_or_none`.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
-from typing import Any, Dict
+import math
+import os
+import tempfile
+from typing import Any, Dict, Optional
 
 from repro.adaptive.replay import Advice
 from repro.bytecode.method import BranchRef
@@ -22,6 +35,19 @@ from repro.profiling.edges import EdgeProfile
 from repro.profiling.paths import PathProfile
 
 _FORMAT = "pep-repro/1"
+
+
+def _checked_count(value: Any, what: str) -> float:
+    """Validate an untrusted count field; raises :class:`AdviceError`."""
+    try:
+        number = float(value)
+    except (TypeError, ValueError):
+        raise AdviceError(f"{what}: count {value!r} is not a number") from None
+    if not math.isfinite(number):
+        raise AdviceError(f"{what}: count {value!r} is not finite")
+    if number < 0:
+        raise AdviceError(f"{what}: count {value!r} is negative")
+    return number
 
 
 def edge_profile_to_dict(profile: EdgeProfile) -> Dict[str, Any]:
@@ -44,10 +70,12 @@ def edge_profile_from_dict(data: Dict[str, Any]) -> EdgeProfile:
     profile = EdgeProfile()
     for entry in data["branches"]:
         branch = BranchRef(entry["method"], int(entry["index"]))
-        if entry["taken"]:
-            profile.record(branch, True, float(entry["taken"]))
-        if entry["not_taken"]:
-            profile.record(branch, False, float(entry["not_taken"]))
+        taken = _checked_count(entry["taken"], f"branch {branch}")
+        not_taken = _checked_count(entry["not_taken"], f"branch {branch}")
+        if taken:
+            profile.record(branch, True, taken)
+        if not_taken:
+            profile.record(branch, False, not_taken)
     return profile
 
 
@@ -66,7 +94,11 @@ def path_profile_from_dict(data: Dict[str, Any]) -> PathProfile:
     profile = PathProfile()
     for method, table in data["methods"].items():
         for number, freq in table.items():
-            profile.record(method, int(number), float(freq))
+            profile.record(
+                method,
+                int(number),
+                _checked_count(freq, f"path {method}:{number}"),
+            )
     return profile
 
 
@@ -86,7 +118,14 @@ def call_graph_from_dict(data: Dict[str, Any]) -> "CallGraphProfile":
 
     profile = CallGraphProfile()
     for entry in data["edges"]:
-        profile.record(entry["caller"], entry["callee"], float(entry["count"]))
+        profile.record(
+            entry["caller"],
+            entry["callee"],
+            _checked_count(
+                entry["count"],
+                f"call edge {entry['caller']}->{entry['callee']}",
+            ),
+        )
     return profile
 
 
@@ -109,7 +148,10 @@ def advice_from_dict(data: Dict[str, Any]) -> Advice:
         name: (None if level is None else int(level))
         for name, level in data["levels"].items()
     }
-    samples = {name: int(count) for name, count in data["samples"].items()}
+    samples = {
+        name: int(_checked_count(count, f"samples[{name}]"))
+        for name, count in data["samples"].items()
+    }
     profile = edge_profile_from_dict(data["onetime_profile"])
     call_graph = None
     if "call_graph" in data:
@@ -122,15 +164,96 @@ def advice_from_dict(data: Dict[str, Any]) -> Advice:
     )
 
 
+def payload_checksum(data: Dict[str, Any]) -> str:
+    """SHA-256 of the canonical JSON encoding of ``data`` (no checksum key)."""
+    canonical = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _atomic_write_json(path: str, data: Dict[str, Any]) -> None:
+    """Write JSON via a same-directory temp file + ``os.replace``.
+
+    A crash mid-write leaves either the old file or no file — never a
+    truncated document a later run would have to recover from.
+    """
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp = tempfile.mkstemp(prefix=".advice-", suffix=".tmp", dir=directory)
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(data, fh, indent=2, sort_keys=True)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
 def save_advice(advice: Advice, path: str) -> None:
-    """Write an advice file, as the paper's replay methodology does."""
-    with open(path, "w") as fh:
-        json.dump(advice_to_dict(advice), fh, indent=2, sort_keys=True)
+    """Write an advice file, as the paper's replay methodology does.
+
+    The write is atomic and the payload is checksummed, so a reader can
+    detect truncation or bit rot instead of silently optimizing from
+    garbage.
+    """
+    data = advice_to_dict(advice)
+    data["checksum"] = payload_checksum(data)
+    _atomic_write_json(path, data)
 
 
-def load_advice(path: str) -> Advice:
-    with open(path) as fh:
-        return advice_from_dict(json.load(fh))
+def load_advice(path: str, injector=None) -> Advice:
+    """Load an advice file; any failure raises :class:`AdviceError`.
+
+    ``injector`` (a :class:`repro.resilience.FaultInjector`) may force a
+    deterministic failure at the ``advice-load`` site.
+    """
+    if injector is not None and injector.should_fire("advice-load", path):
+        raise AdviceError(f"{path}: injected advice-load fault")
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except OSError as exc:
+        raise AdviceError(f"{path}: cannot read advice file: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise AdviceError(
+            f"{path}: corrupt JSON (truncated or damaged file): {exc}"
+        ) from None
+    if isinstance(data, dict) and "checksum" in data:
+        recorded = data.pop("checksum")
+        actual = payload_checksum(data)
+        if recorded != actual:
+            raise AdviceError(
+                f"{path}: checksum mismatch — file records {recorded!r}, "
+                f"payload hashes to {actual!r}; refusing corrupt advice"
+            )
+    try:
+        return advice_from_dict(data)
+    except AdviceError as exc:
+        raise AdviceError(f"{path}: {exc}") from None
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise AdviceError(f"{path}: malformed advice payload: {exc!r}") from None
+
+
+def load_advice_or_none(
+    path: str, health=None, injector=None
+) -> Optional[Advice]:
+    """Graceful advice load: a bad file degrades to ``None`` (no advice).
+
+    This is the production posture: a corrupt or truncated advice file
+    must not abort the run — the VM simply starts cold, and the incident
+    is recorded on ``health`` (a
+    :class:`~repro.resilience.HealthReport`) when one is provided.
+    """
+    try:
+        return load_advice(path, injector=injector)
+    except AdviceError as exc:
+        if health is not None:
+            health.record_warning(
+                f"advice file unusable, continuing without advice: {exc}"
+            )
+            health.record_degradation("advice-noadvice", str(exc))
+        return None
 
 
 def _check(data: Dict[str, Any], kind: str) -> None:

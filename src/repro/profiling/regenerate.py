@@ -21,11 +21,24 @@ from repro.errors import PathReconstructionError
 BranchEvent = Tuple[BranchRef, bool]
 
 
-def reconstruct_path(dag: PDag, path_number: int) -> List[DagEdge]:
+def reconstruct_path(
+    dag: PDag, path_number: int, injector=None
+) -> List[DagEdge]:
     """Return the edge sequence of ``path_number`` in ``dag``.
 
     Requires that path numbering has been applied (``dag.num_paths`` > 0).
+    ``injector`` (a :class:`repro.resilience.FaultInjector`) may force a
+    deterministic :class:`PathReconstructionError` at the
+    ``path-reconstruct`` site, exercising the caller's sample-drop and
+    path-disable degradation paths.
     """
+    if injector is not None and injector.should_fire(
+        "path-reconstruct", dag.method_name
+    ):
+        raise PathReconstructionError(
+            f"{dag.method_name}: injected reconstruction fault "
+            f"(path {path_number})"
+        )
     if dag.num_paths <= 0:
         raise PathReconstructionError(
             f"{dag.method_name}: DAG has not been numbered"
@@ -80,21 +93,25 @@ class PathResolver:
         """True if this path has been resolved before (cache hit)."""
         return path_number in self._cache
 
-    def branch_events(self, path_number: int) -> List[BranchEvent]:
-        return self._resolve(path_number)[0]
+    def branch_events(self, path_number: int, injector=None) -> List[BranchEvent]:
+        return self._resolve(path_number, injector)[0]
 
-    def branch_length(self, path_number: int) -> int:
+    def branch_length(self, path_number: int, injector=None) -> int:
         """Number of conditional-branch executions along the path (b_p)."""
-        return self._resolve(path_number)[1]
+        return self._resolve(path_number, injector)[1]
 
     def cached_count(self) -> int:
         return len(self._cache)
 
-    def _resolve(self, path_number: int) -> Tuple[List[BranchEvent], int]:
+    def _resolve(
+        self, path_number: int, injector=None
+    ) -> Tuple[List[BranchEvent], int]:
+        # A cached expansion cannot fault — only first-time regeneration
+        # runs the greedy walk (and its injection site).
         hit = self._cache.get(path_number)
         if hit is not None:
             return hit
-        edges = reconstruct_path(self.dag, path_number)
+        edges = reconstruct_path(self.dag, path_number, injector)
         events: List[BranchEvent] = [
             (edge.origin, bool(edge.taken))
             for edge in edges

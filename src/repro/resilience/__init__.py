@@ -1,0 +1,38 @@
+"""Fault injection and graceful degradation for the adaptive VM.
+
+The paper's argument is that PEP is cheap enough to leave on *forever*
+in a production VM; that only holds if the profiler's own machinery
+degrades instead of crashing when something faults.  This package
+provides
+
+* :class:`FaultPlan` / :class:`FaultInjector` — deterministic, seeded
+  fault injection at fixed sites in the hot layers (opt-compilation,
+  sample handling, path regeneration, advice load);
+* :class:`DegradationPolicy` / :class:`ResilienceManager` — the
+  fallback policies those faults prove out (compile blacklist with
+  exponential backoff, K-strikes path-profiling disable with edge-only
+  fallback, corrupt-advice degrade);
+* :class:`HealthReport` — the per-run ledger of faults and
+  degradations, surfaced on :class:`~repro.vm.runtime.RunResult`.
+
+See DESIGN.md section 7 for the model.
+"""
+
+from repro.resilience.faults import (
+    FAULT_SITES,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.resilience.health import HealthReport
+from repro.resilience.manager import DegradationPolicy, ResilienceManager
+
+__all__ = [
+    "FAULT_SITES",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "HealthReport",
+    "DegradationPolicy",
+    "ResilienceManager",
+]

@@ -1,0 +1,160 @@
+"""Run-health accounting: what went wrong, and what the VM did about it.
+
+A production profiler must degrade, not crash, when its own machinery
+faults (cf. PROMPT, and Jikes RVM's behaviour the paper relies on: a
+failed opt-compile keeps the baseline body, a bad sample is dropped, the
+program never notices).  :class:`HealthReport` is the ledger of those
+events for one run — every injected fault, dropped sample, compile
+blacklisting, and degradation policy taken — surfaced on
+:class:`~repro.vm.runtime.RunResult` so harnesses can assert that a run
+degraded *gracefully* rather than collapsing.
+
+The report is deliberately plain data (JSON-clean ``to_dict``) and
+order-preserving, so two runs with the same fault plan and seed produce
+*identical* reports — the determinism the replay methodology needs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+
+class HealthReport:
+    """Ledger of faults observed and degradations taken during a run."""
+
+    __slots__ = (
+        "faults",
+        "fault_log",
+        "samples_dropped",
+        "reconstruction_failures",
+        "compile_failures",
+        "blacklisted",
+        "path_disabled",
+        "degradations",
+        "warnings",
+    )
+
+    def __init__(self) -> None:
+        # site -> number of injected faults that fired there.
+        self.faults: Dict[str, int] = {}
+        # (site, key) per fired fault, in firing order.
+        self.fault_log: List[Tuple[str, str]] = []
+        # Path samples discarded instead of recorded (corrupt or unresolvable).
+        self.samples_dropped = 0
+        # PathReconstructionErrors absorbed (each also drops a sample).
+        self.reconstruction_failures = 0
+        # method -> failed opt-compile attempts.
+        self.compile_failures: Dict[str, int] = {}
+        # Methods permanently compile-blacklisted (stay at their current tier).
+        self.blacklisted: List[str] = []
+        # Methods whose PEP path profiling was disabled (edge-only fallback).
+        self.path_disabled: List[str] = []
+        # (policy, detail) per degradation decision, in order.
+        self.degradations: List[Tuple[str, str]] = []
+        # Human-readable warnings (e.g. a corrupt advice file ignored).
+        self.warnings: List[str] = []
+
+    # -- recording -----------------------------------------------------------
+
+    def record_fault(self, site: str, key: str) -> None:
+        self.faults[site] = self.faults.get(site, 0) + 1
+        self.fault_log.append((site, key))
+
+    def record_dropped_sample(self, count: int = 1) -> None:
+        self.samples_dropped += count
+
+    def record_compile_failure(self, method: str) -> int:
+        failures = self.compile_failures.get(method, 0) + 1
+        self.compile_failures[method] = failures
+        return failures
+
+    def record_degradation(self, policy: str, detail: str) -> None:
+        self.degradations.append((policy, detail))
+
+    def record_warning(self, text: str) -> None:
+        self.warnings.append(text)
+
+    # -- queries -------------------------------------------------------------
+
+    def total_faults(self) -> int:
+        return sum(self.faults.values())
+
+    def events(self) -> int:
+        """Total noteworthy events: faults, drops, and degradations."""
+        return (
+            self.total_faults()
+            + self.samples_dropped
+            + len(self.degradations)
+            + len(self.warnings)
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-clean snapshot; also the identity used by ``__eq__``."""
+        return {
+            "faults": dict(sorted(self.faults.items())),
+            "fault_log": [list(entry) for entry in self.fault_log],
+            "samples_dropped": self.samples_dropped,
+            "reconstruction_failures": self.reconstruction_failures,
+            "compile_failures": dict(sorted(self.compile_failures.items())),
+            "blacklisted": list(self.blacklisted),
+            "path_disabled": list(self.path_disabled),
+            "degradations": [list(entry) for entry in self.degradations],
+            "warnings": list(self.warnings),
+        }
+
+    def summary(self) -> str:
+        """Multi-line summary for CLI / log output."""
+        lines = [
+            f"faults injected:         {self.total_faults()}"
+            + (
+                " ("
+                + ", ".join(
+                    f"{site}={count}"
+                    for site, count in sorted(self.faults.items())
+                )
+                + ")"
+                if self.faults
+                else ""
+            ),
+            f"samples dropped:         {self.samples_dropped}",
+            f"reconstruction failures: {self.reconstruction_failures}",
+            f"compile failures:        {sum(self.compile_failures.values())}"
+            + (
+                " ("
+                + ", ".join(sorted(self.compile_failures))
+                + ")"
+                if self.compile_failures
+                else ""
+            ),
+            f"methods blacklisted:     {len(self.blacklisted)}"
+            + (f" ({', '.join(self.blacklisted)})" if self.blacklisted else ""),
+            f"path profiling disabled: {len(self.path_disabled)}"
+            + (
+                f" ({', '.join(self.path_disabled)})"
+                if self.path_disabled
+                else ""
+            ),
+        ]
+        for policy, detail in self.degradations:
+            lines.append(f"degradation [{policy}]: {detail}")
+        for warning in self.warnings:
+            lines.append(f"warning: {warning}")
+        return "\n".join(lines)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HealthReport):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __repr__(self) -> str:
+        return (
+            f"<HealthReport faults={self.total_faults()} "
+            f"dropped={self.samples_dropped} "
+            f"degradations={len(self.degradations)}>"
+        )

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.errors import ReproError
+from repro.errors import PathReconstructionError, ReproError
 from repro.vm.interpreter import CompiledMethod
 from repro.vm.runtime import VirtualMachine
 
@@ -165,13 +165,47 @@ class ArnoldGroveSampler:
             # Method compiled without PEP (e.g. baseline tier): the
             # yieldpoint cannot deliver a path.
             return 0.0
+        resilience = vm.resilience
+        injector = resilience.injector if resilience is not None else None
+        source = cm.source_name
+        if resilience is not None and not resilience.path_profiling_enabled(
+            source
+        ):
+            # Degraded: the K-strikes policy turned PEP path profiling off
+            # for this method; the sample is simply not recorded.
+            return 0.0
+        if injector is not None and injector.should_fire(
+            "sample", cm.profile_key
+        ):
+            # A corrupt sample is dropped at the handler boundary — the
+            # profile sees nothing, the program never notices.
+            resilience.drop_sample()
+            return 0.0
         cost = 0.0
         first_time = not resolver.is_cached(path_reg)
         if first_time:
             cost += vm.costs.scaled_handler(vm.costs.handler_expand_first)
-        vm.path_profile.record(cm.profile_key, path_reg)
+        try:
+            events = resolver.branch_events(path_reg, injector=injector)
+        except PathReconstructionError as exc:
+            if resilience is None:
+                raise
+            # Drop the sample; K consecutive failures on one method
+            # disable its path profiling (edge-only fallback).
+            resilience.note_reconstruction_failure(source, exc)
+            return cost
+        if resilience is not None:
+            resilience.note_reconstruction_success(source)
+        if injector is not None and injector.should_fire(
+            "path-table", cm.profile_key
+        ):
+            # The path-table update faulted; the edge derivation below
+            # still proceeds, so the edge profile keeps flowing.
+            resilience.drop_sample()
+        else:
+            vm.path_profile.record(cm.profile_key, path_reg)
         edge_profile = vm.edge_profile
-        for branch, taken in resolver.branch_events(path_reg):
+        for branch, taken in events:
             edge_profile.record(branch, taken)
         return cost
 

@@ -10,27 +10,29 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, List, Sequence, Tuple
 
+from repro.errors import MissingBaseError, StatsError
+
 
 def arithmetic_mean(values: Sequence[float]) -> float:
     """Plain average; raises on empty input (silent 0.0 hides bugs)."""
     if not values:
-        raise ValueError("mean of empty sequence")
+        raise StatsError("mean of empty sequence")
     return sum(values) / len(values)
 
 
 def geometric_mean(values: Sequence[float]) -> float:
     """Geometric mean, the conventional average for normalized run times."""
     if not values:
-        raise ValueError("geometric mean of empty sequence")
+        raise StatsError("geometric mean of empty sequence")
     if any(v <= 0 for v in values):
-        raise ValueError("geometric mean requires positive values")
+        raise StatsError("geometric mean requires positive values")
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
 def median(values: Sequence[float]) -> float:
     """Median; the paper uses it for accuracy across trials."""
     if not values:
-        raise ValueError("median of empty sequence")
+        raise StatsError("median of empty sequence")
     ordered = sorted(values)
     mid = len(ordered) // 2
     if len(ordered) % 2 == 1:
@@ -46,7 +48,7 @@ def weighted_mean(pairs: Iterable[Tuple[float, float]]) -> float:
         total += value * weight
         total_weight += weight
     if total_weight == 0.0:
-        raise ValueError("weighted mean with zero total weight")
+        raise StatsError("weighted mean with zero total weight")
     return total / total_weight
 
 
@@ -57,12 +59,12 @@ def normalize(values: Dict[str, float], base: Dict[str, float]) -> Dict[str, flo
     """
     missing = sorted(set(values) - set(base))
     if missing:
-        raise KeyError(f"no base measurement for: {', '.join(missing)}")
+        raise MissingBaseError(f"no base measurement for: {', '.join(missing)}")
     result = {}
     for name, value in values.items():
         denominator = base[name]
         if denominator <= 0:
-            raise ValueError(f"non-positive base measurement for {name!r}")
+            raise StatsError(f"non-positive base measurement for {name!r}")
         result[name] = value / denominator
     return result
 
@@ -81,6 +83,6 @@ def overhead_summary(normalized: Dict[str, float]) -> Tuple[float, float]:
     computes those two numbers from normalized run times.
     """
     if not normalized:
-        raise ValueError("no measurements")
+        raise StatsError("no measurements")
     overheads: List[float] = [value - 1.0 for value in normalized.values()]
     return arithmetic_mean(overheads), max(overheads)

@@ -10,19 +10,21 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from repro.errors import TableError
+
 
 class AsciiTable:
     """Accumulates rows and renders them with aligned columns."""
 
     def __init__(self, headers: Sequence[str]) -> None:
         if not headers:
-            raise ValueError("a table needs at least one column")
+            raise TableError("a table needs at least one column")
         self._headers = [str(h) for h in headers]
         self._rows: List[List[str]] = []
 
     def add_row(self, *cells: object) -> None:
         if len(cells) != len(self._headers):
-            raise ValueError(
+            raise TableError(
                 f"expected {len(self._headers)} cells, got {len(cells)}"
             )
         self._rows.append([_format_cell(cell) for cell in cells])
@@ -64,7 +66,7 @@ def bar_chart(
 ) -> str:
     """Render a labelled horizontal bar chart of ``values``."""
     if not values:
-        raise ValueError("no values to chart")
+        raise TableError("no values to chart")
     low = min(values.values()) if lo is None else lo
     high = max(values.values()) if hi is None else hi
     span = high - low or 1.0

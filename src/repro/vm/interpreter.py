@@ -290,156 +290,174 @@ def execute(vm, fuel: int) -> int:
     path_reg = 0
     cyc = 0.0
 
-    while True:
-        ops = block.ops
-        n = len(ops)
-        fuel -= n - ip + 1
-        if fuel < 0:
-            vm.cycles += cyc
-            raise FuelExhaustedError(
-                f"instruction budget exhausted in {cm.profile_key}"
-            )
-        i = ip
-        ip = 0
-        transferred = False
-        while i < n:
-            op = ops[i]
-            i += 1
-            c = op[0]
-            cyc += op[1]
-            if c == OP_BINI:
-                k = op[2]
-                a = regs[op[4]]
-                b = op[5]
-                regs[op[3]] = _binop(k, a, b, cm, vm)
-            elif c == OP_BIN:
-                k = op[2]
-                a = regs[op[4]]
-                b = regs[op[5]]
-                regs[op[3]] = _binop(k, a, b, cm, vm)
-            elif c == OP_CONST:
-                regs[op[2]] = op[3]
-            elif c == OP_MOVE:
-                regs[op[2]] = regs[op[3]]
-            elif c == OP_PEPADD:
-                path_reg += op[2]
-            elif c == OP_PEPINIT:
-                path_reg = 0
-            elif c == OP_YIELD:
+    try:
+        while True:
+            ops = block.ops
+            n = len(ops)
+            fuel -= n - ip + 1
+            if fuel < 0:
                 vm.cycles += cyc
-                cyc = 0.0
-                if vm.cycles >= vm.next_tick:
-                    vm.on_tick()
-                if vm.flag:
-                    cyc += vm.dispatch_yieldpoint(cm, path_reg, op[2])
-            elif c == OP_ALOAD:
-                arr = regs[op[3]]
-                idx = regs[op[4]]
-                if type(arr) is not list:
-                    _trap(vm, cyc, cm, "aload from a non-array value")
-                if idx < 0 or idx >= len(arr):
-                    _trap(vm, cyc, cm, f"array index {idx} out of range")
-                regs[op[2]] = arr[idx]
-            elif c == OP_ASTORE:
-                arr = regs[op[2]]
-                idx = regs[op[3]]
-                if type(arr) is not list:
-                    _trap(vm, cyc, cm, "astore to a non-array value")
-                if idx < 0 or idx >= len(arr):
-                    _trap(vm, cyc, cm, f"array index {idx} out of range")
-                arr[idx] = regs[op[4]]
-            elif c == OP_CALL:
-                callee = code.get(op[3])
-                if callee is None:
-                    _trap(vm, cyc, cm, f"call to unknown method {op[3]!r}")
-                frame.block = block
-                frame.ip = i
-                frame.path_reg = path_reg
-                new_frame = Frame(callee)
-                new_regs = new_frame.regs
-                args = op[4]
-                for pos in range(len(args)):
-                    new_regs[pos] = regs[args[pos]]
-                new_frame.ret_dst = op[2]
-                stack.append(new_frame)
-                if len(stack) > vm.max_stack_depth:
-                    _trap(vm, cyc, cm, "guest stack overflow")
-                frame = new_frame
-                cm = callee
-                regs = new_regs
-                block = callee.entry
-                ip = 0
-                path_reg = 0
-                transferred = True
-                break
-            elif c == OP_EMIT:
-                output.append(regs[op[2]])
-            elif c == OP_PATHCOUNT:
-                path_profile.record(cm.profile_key, path_reg)
-                vm.path_count_updates += 1
-            elif c == OP_NEWARR:
-                size = regs[op[3]]
-                if size < 0 or size > _MAX_ARRAY:
-                    _trap(vm, cyc, cm, f"bad array size {size}")
-                regs[op[2]] = [0] * size
-            elif c == OP_NEG:
-                regs[op[2]] = -regs[op[3]]
-            elif c == OP_NOT:
-                regs[op[2]] = 0 if regs[op[3]] else 1
-            elif c == OP_ALEN:
-                arr = regs[op[3]]
-                if type(arr) is not list:
-                    _trap(vm, cyc, cm, "alen of a non-array value")
-                regs[op[2]] = len(arr)
-            else:  # pragma: no cover - lowering emits only known codes
-                _trap(vm, cyc, cm, f"unknown opcode {c}")
-        if transferred:
-            continue
+                raise FuelExhaustedError(
+                    "instruction budget exhausted",
+                    method=cm.profile_key,
+                    block=block.label,
+                    instruction_index=ip,
+                    cycles=vm.cycles,
+                )
+            i = ip
+            ip = 0
+            transferred = False
+            while i < n:
+                op = ops[i]
+                i += 1
+                c = op[0]
+                cyc += op[1]
+                if c == OP_BINI:
+                    k = op[2]
+                    a = regs[op[4]]
+                    b = op[5]
+                    regs[op[3]] = _binop(k, a, b, cm, vm)
+                elif c == OP_BIN:
+                    k = op[2]
+                    a = regs[op[4]]
+                    b = regs[op[5]]
+                    regs[op[3]] = _binop(k, a, b, cm, vm)
+                elif c == OP_CONST:
+                    regs[op[2]] = op[3]
+                elif c == OP_MOVE:
+                    regs[op[2]] = regs[op[3]]
+                elif c == OP_PEPADD:
+                    path_reg += op[2]
+                elif c == OP_PEPINIT:
+                    path_reg = 0
+                elif c == OP_YIELD:
+                    vm.cycles += cyc
+                    cyc = 0.0
+                    if vm.cycles >= vm.next_tick:
+                        vm.on_tick()
+                    if vm.flag:
+                        cyc += vm.dispatch_yieldpoint(cm, path_reg, op[2])
+                elif c == OP_ALOAD:
+                    arr = regs[op[3]]
+                    idx = regs[op[4]]
+                    if type(arr) is not list:
+                        _trap(vm, cyc, cm, "aload from a non-array value", block.label, i - 1)
+                    if idx < 0 or idx >= len(arr):
+                        _trap(vm, cyc, cm, f"array index {idx} out of range", block.label, i - 1)
+                    regs[op[2]] = arr[idx]
+                elif c == OP_ASTORE:
+                    arr = regs[op[2]]
+                    idx = regs[op[3]]
+                    if type(arr) is not list:
+                        _trap(vm, cyc, cm, "astore to a non-array value", block.label, i - 1)
+                    if idx < 0 or idx >= len(arr):
+                        _trap(vm, cyc, cm, f"array index {idx} out of range", block.label, i - 1)
+                    arr[idx] = regs[op[4]]
+                elif c == OP_CALL:
+                    callee = code.get(op[3])
+                    if callee is None:
+                        _trap(vm, cyc, cm, f"call to unknown method {op[3]!r}", block.label, i - 1)
+                    frame.block = block
+                    frame.ip = i
+                    frame.path_reg = path_reg
+                    new_frame = Frame(callee)
+                    new_regs = new_frame.regs
+                    args = op[4]
+                    for pos in range(len(args)):
+                        new_regs[pos] = regs[args[pos]]
+                    new_frame.ret_dst = op[2]
+                    stack.append(new_frame)
+                    if len(stack) > vm.max_stack_depth:
+                        _trap(vm, cyc, cm, "guest stack overflow", block.label, i - 1)
+                    frame = new_frame
+                    cm = callee
+                    regs = new_regs
+                    block = callee.entry
+                    ip = 0
+                    path_reg = 0
+                    transferred = True
+                    break
+                elif c == OP_EMIT:
+                    output.append(regs[op[2]])
+                elif c == OP_PATHCOUNT:
+                    path_profile.record(cm.profile_key, path_reg)
+                    vm.path_count_updates += 1
+                elif c == OP_NEWARR:
+                    size = regs[op[3]]
+                    if size < 0 or size > _MAX_ARRAY:
+                        _trap(vm, cyc, cm, f"bad array size {size}", block.label, i - 1)
+                    regs[op[2]] = [0] * size
+                elif c == OP_NEG:
+                    regs[op[2]] = -regs[op[3]]
+                elif c == OP_NOT:
+                    regs[op[2]] = 0 if regs[op[3]] else 1
+                elif c == OP_ALEN:
+                    arr = regs[op[3]]
+                    if type(arr) is not list:
+                        _trap(vm, cyc, cm, "alen of a non-array value", block.label, i - 1)
+                    regs[op[2]] = len(arr)
+                else:  # pragma: no cover - lowering emits only known codes
+                    _trap(vm, cyc, cm, f"unknown opcode {c}", block.label, i - 1)
+            if transferred:
+                continue
 
-        term = block.term
-        t = term[0]
-        cyc += term[1]
-        if t == T_BR:
-            k = term[2]
-            a = regs[term[3]]
-            b = regs[term[4]]
-            if k == 12:
-                taken = a < b
-            elif k == 13:
-                taken = a <= b
-            elif k == 14:
-                taken = a > b
-            elif k == 15:
-                taken = a >= b
-            elif k == 16:
-                taken = a == b
-            else:
-                taken = a != b
-            if taken != term[7]:  # not the laid-out fall-through arm
-                cyc += term[8]
-            if term[10]:  # baseline one-time edge instrumentation
-                edge_profile.record(term[9], taken)
-                cyc += term[11]
-            block = term[5] if taken else term[6]
-        elif t == T_JMP:
-            block = term[2]
-        else:  # T_RET
-            src = term[2]
-            value = regs[src] if src is not None else 0
-            stack.pop()
-            if not stack:
-                vm.cycles += cyc
-                return value
-            dst = frame.ret_dst
-            frame = stack[-1]
-            cm = frame.cm
-            regs = frame.regs
-            block = frame.block
-            ip = frame.ip
-            path_reg = frame.path_reg
-            if dst is not None:
-                regs[dst] = value
+            term = block.term
+            t = term[0]
+            cyc += term[1]
+            if t == T_BR:
+                k = term[2]
+                a = regs[term[3]]
+                b = regs[term[4]]
+                if k == 12:
+                    taken = a < b
+                elif k == 13:
+                    taken = a <= b
+                elif k == 14:
+                    taken = a > b
+                elif k == 15:
+                    taken = a >= b
+                elif k == 16:
+                    taken = a == b
+                else:
+                    taken = a != b
+                if taken != term[7]:  # not the laid-out fall-through arm
+                    cyc += term[8]
+                if term[10]:  # baseline one-time edge instrumentation
+                    edge_profile.record(term[9], taken)
+                    cyc += term[11]
+                block = term[5] if taken else term[6]
+            elif t == T_JMP:
+                block = term[2]
+            else:  # T_RET
+                src = term[2]
+                value = regs[src] if src is not None else 0
+                stack.pop()
+                if not stack:
+                    vm.cycles += cyc
+                    return value
+                dst = frame.ret_dst
+                frame = stack[-1]
+                cm = frame.cm
+                regs = frame.regs
+                block = frame.block
+                ip = frame.ip
+                path_reg = frame.path_reg
+                if dst is not None:
+                    regs[dst] = value
 
+    except GuestTrapError as trap:
+        if trap.block is not None or trap.method is None:
+            raise
+        # Raised below the dispatch loop (_binop): graft on the
+        # faulting location, which only the loop knows.
+        vm.cycles += cyc
+        raise GuestTrapError(
+            trap.base_message,
+            method=trap.method,
+            block=block.label,
+            instruction_index=i - 1,
+            cycles=vm.cycles,
+        ) from None
 
 def _binop(k: int, a, b, cm, vm):
     """Evaluate binop kind ``k``; split out keeps the main loop readable."""
@@ -459,21 +477,21 @@ def _binop(k: int, a, b, cm, vm):
         return a ^ b
     if k == 9:
         if b < 0 or b > 63:
-            raise GuestTrapError(f"{cm.profile_key}: bad shift amount {b}")
+            raise GuestTrapError(f"bad shift amount {b}", method=cm.profile_key)
         return a >> b
     if k == 4:
         if b == 0:
-            raise GuestTrapError(f"{cm.profile_key}: modulo by zero")
+            raise GuestTrapError("modulo by zero", method=cm.profile_key)
         return a % b
     if k == 3:
         if b == 0:
-            raise GuestTrapError(f"{cm.profile_key}: division by zero")
+            raise GuestTrapError("division by zero", method=cm.profile_key)
         return a // b
     if k == 6:
         return a | b
     if k == 8:
         if b < 0 or b > 63:
-            raise GuestTrapError(f"{cm.profile_key}: bad shift amount {b}")
+            raise GuestTrapError(f"bad shift amount {b}", method=cm.profile_key)
         return a << b
     if k == 10:
         return a if a < b else b
@@ -490,6 +508,12 @@ def _binop(k: int, a, b, cm, vm):
     raise VMError(f"unknown binop code {k}")  # pragma: no cover
 
 
-def _trap(vm, cyc: float, cm, message: str) -> None:
+def _trap(vm, cyc: float, cm, message: str, block=None, index=None) -> None:
     vm.cycles += cyc
-    raise GuestTrapError(f"{cm.profile_key}: {message}")
+    raise GuestTrapError(
+        message,
+        method=cm.profile_key,
+        block=block,
+        instruction_index=index,
+        cycles=vm.cycles,
+    )

@@ -42,6 +42,7 @@ class RunResult:
         "path_count_updates",
         "compile_cycles",
         "recompilations",
+        "health",
     )
 
     def __init__(
@@ -55,6 +56,7 @@ class RunResult:
         path_count_updates: int,
         compile_cycles: float,
         recompilations: int,
+        health=None,
     ) -> None:
         self.return_value = return_value
         self.cycles = cycles
@@ -65,6 +67,9 @@ class RunResult:
         self.path_count_updates = path_count_updates
         self.compile_cycles = compile_cycles
         self.recompilations = recompilations
+        # HealthReport of the run's ResilienceManager, or None when the
+        # run had no resilience layer attached.
+        self.health = health
 
     def __repr__(self) -> str:
         return (
@@ -87,6 +92,7 @@ class VirtualMachine:
         max_stack_depth: int = 4000,
         tick_jitter: float = 0.0,
         jitter_seed: int = 0,
+        resilience=None,
     ) -> None:
         if main not in code:
             raise VMError(f"code cache has no main method {main!r}")
@@ -96,6 +102,10 @@ class VirtualMachine:
         self.sampler = sampler
         self.method_sample_listener = method_sample_listener
         self.max_stack_depth = max_stack_depth
+        # Fault-injection + graceful-degradation layer (see
+        # repro.resilience); the sampler and adaptive controller consult
+        # it, and its HealthReport travels on the RunResult.
+        self.resilience = resilience
 
         # Profiles being collected during this run.
         self.edge_profile = EdgeProfile()
@@ -181,6 +191,9 @@ class VirtualMachine:
             path_count_updates=self.path_count_updates,
             compile_cycles=self.compile_cycles,
             recompilations=self.recompilations,
+            health=(
+                self.resilience.health if self.resilience is not None else None
+            ),
         )
 
     def charge_compile(self, cycles: float) -> float:

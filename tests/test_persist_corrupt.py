@@ -1,0 +1,211 @@
+"""Corrupt-persistence tests: advice files are untrusted input.
+
+Truncated JSON, wrong format tags, negative/NaN counts, and checksum
+mismatches must all surface as :class:`AdviceError` (or degrade to a
+no-advice run through :func:`load_advice_or_none`) — never as an
+unhandled ``KeyError``/``ValueError``/``JSONDecodeError``.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.adaptive.replay import record_advice
+from repro.errors import AdviceError, ReproError
+from repro.persist import (
+    advice_to_dict,
+    edge_profile_from_dict,
+    load_advice,
+    load_advice_or_none,
+    path_profile_from_dict,
+    payload_checksum,
+    save_advice,
+)
+from repro.resilience import FaultInjector, FaultPlan, HealthReport
+
+from tests.test_adaptive_system import hot_loop_program
+
+
+@pytest.fixture(scope="module")
+def advice():
+    return record_advice(hot_loop_program(800), tick_interval=2000.0)
+
+
+@pytest.fixture()
+def advice_file(advice, tmp_path):
+    path = tmp_path / "advice.json"
+    save_advice(advice, str(path))
+    return str(path)
+
+
+# -- atomic, checksummed writes ------------------------------------------------
+
+
+def test_save_writes_checksum_and_leaves_no_temp_files(advice, tmp_path):
+    path = tmp_path / "advice.json"
+    save_advice(advice, str(path))
+    data = json.loads(path.read_text())
+    recorded = data.pop("checksum")
+    assert recorded == payload_checksum(data)
+    # No stray temp files from the atomic write.
+    assert os.listdir(tmp_path) == ["advice.json"]
+
+
+def test_checksummed_roundtrip(advice, advice_file):
+    restored = load_advice(advice_file)
+    assert restored.levels == advice.levels
+    assert restored.samples == advice.samples
+
+
+def test_legacy_file_without_checksum_still_loads(advice, tmp_path):
+    path = tmp_path / "legacy.json"
+    path.write_text(json.dumps(advice_to_dict(advice)))
+    restored = load_advice(str(path))
+    assert restored.levels == advice.levels
+
+
+# -- corruption modes all raise AdviceError -----------------------------------
+
+
+def test_missing_file(tmp_path):
+    with pytest.raises(AdviceError, match="cannot read"):
+        load_advice(str(tmp_path / "nope.json"))
+
+
+def test_truncated_json(advice_file, tmp_path):
+    text = open(advice_file).read()
+    path = tmp_path / "truncated.json"
+    path.write_text(text[: len(text) // 2])
+    with pytest.raises(AdviceError, match="corrupt JSON"):
+        load_advice(str(path))
+
+
+def test_empty_file(tmp_path):
+    path = tmp_path / "empty.json"
+    path.write_text("")
+    with pytest.raises(AdviceError, match="corrupt JSON"):
+        load_advice(str(path))
+
+
+def test_non_dict_document(tmp_path):
+    path = tmp_path / "list.json"
+    path.write_text("[1, 2, 3]")
+    with pytest.raises(AdviceError):
+        load_advice(str(path))
+
+
+def test_wrong_format_tag(advice, tmp_path):
+    data = advice_to_dict(advice)
+    data["format"] = "other-tool/9"
+    path = tmp_path / "wrong_format.json"
+    path.write_text(json.dumps(data))
+    with pytest.raises(AdviceError, match="pep-repro/1"):
+        load_advice(str(path))
+
+
+def test_wrong_kind_tag(advice, tmp_path):
+    data = advice_to_dict(advice)
+    data["kind"] = "edge-profile"
+    path = tmp_path / "wrong_kind.json"
+    path.write_text(json.dumps(data))
+    with pytest.raises(AdviceError, match="advice"):
+        load_advice(str(path))
+
+
+def test_checksum_mismatch_names_file_and_hashes(advice, advice_file):
+    data = json.loads(open(advice_file).read())
+    # Flip a payload value without refreshing the checksum.
+    first = next(iter(data["samples"]))
+    data["samples"][first] += 1
+    with open(advice_file, "w") as fh:
+        json.dump(data, fh)
+    with pytest.raises(AdviceError) as info:
+        load_advice(advice_file)
+    message = str(info.value)
+    assert "checksum mismatch" in message
+    assert advice_file in message
+    assert data["checksum"] in message
+
+
+@pytest.mark.parametrize("bad", [-3, float("nan"), float("inf")])
+def test_bad_sample_counts(advice, tmp_path, bad):
+    data = advice_to_dict(advice)
+    first = next(iter(data["samples"]))
+    data["samples"][first] = bad
+    path = tmp_path / "bad_samples.json"
+    path.write_text(json.dumps(data))  # json emits NaN/Infinity tokens
+    with pytest.raises(AdviceError):
+        load_advice(str(path))
+
+
+@pytest.mark.parametrize("bad", [-1.0, float("nan"), "many"])
+def test_bad_edge_counts(bad):
+    data = {
+        "format": "pep-repro/1",
+        "kind": "edge-profile",
+        "branches": [
+            {"method": "m", "index": 0, "taken": bad, "not_taken": 1},
+        ],
+    }
+    with pytest.raises(AdviceError):
+        edge_profile_from_dict(data)
+
+
+@pytest.mark.parametrize("bad", [-2, float("nan")])
+def test_bad_path_counts(bad):
+    data = {
+        "format": "pep-repro/1",
+        "kind": "path-profile",
+        "methods": {"m#v0": {"0": bad}},
+    }
+    with pytest.raises(AdviceError):
+        path_profile_from_dict(data)
+
+
+def test_missing_payload_keys_become_advice_error(tmp_path):
+    path = tmp_path / "hollow.json"
+    path.write_text(json.dumps({"format": "pep-repro/1", "kind": "advice"}))
+    with pytest.raises(AdviceError, match="malformed advice payload"):
+        load_advice(str(path))
+
+
+def test_every_corruption_is_a_repro_error(advice_file):
+    # The documented contract: catching ReproError catches any library
+    # failure, including persistence ones.
+    try:
+        load_advice(advice_file + ".missing")
+    except ReproError:
+        pass
+    else:  # pragma: no cover
+        pytest.fail("AdviceError must derive from ReproError")
+
+
+# -- graceful degradation: no-advice run --------------------------------------
+
+
+def test_load_advice_or_none_degrades_with_warning(tmp_path):
+    path = tmp_path / "garbage.json"
+    path.write_text("{ not json")
+    health = HealthReport()
+    assert load_advice_or_none(str(path), health=health) is None
+    assert health.warnings and "without advice" in health.warnings[0]
+    assert health.degradations[0][0] == "advice-noadvice"
+
+
+def test_load_advice_or_none_success_path(advice, advice_file):
+    health = HealthReport()
+    restored = load_advice_or_none(advice_file, health=health)
+    assert restored is not None
+    assert restored.levels == advice.levels
+    assert health.events() == 0
+
+
+def test_advice_load_injection_site(advice_file):
+    injector = FaultInjector(FaultPlan({"advice-load": 1.0}, seed=1))
+    with pytest.raises(AdviceError, match="injected advice-load fault"):
+        load_advice(advice_file, injector=injector)
+    health = HealthReport()
+    injector2 = FaultInjector(FaultPlan({"advice-load": 1.0}, seed=1), health)
+    assert load_advice_or_none(advice_file, health=health, injector=injector2) is None
+    assert health.faults == {"advice-load": 1}
