@@ -37,6 +37,43 @@ def bench_scale() -> float:
     return float(raw) if raw else _BENCH_SCALE_DEFAULT
 
 
+def engine_jobs() -> int:
+    """Worker count for sweep benches (``REPRO_JOBS``, default 1).
+
+    Defaults to serial so pytest-benchmark timings stay comparable run to
+    run; set ``REPRO_JOBS=0`` for ``os.cpu_count()``.
+    """
+    raw = os.environ.get("REPRO_JOBS")
+    if not raw:
+        return 1
+    jobs = int(raw)
+    return (os.cpu_count() or 1) if jobs <= 0 else jobs
+
+
+def sweep_normalized(configs) -> Dict[str, Dict[str, float]]:
+    """Run (suite x configs) through the engine; returns normalized cycles.
+
+    The result is ``{config name: {workload name: cycles / Base cycles}}``
+    — exactly what the fig6-style benches tabulate.  With
+    ``engine_jobs() == 1`` this runs serially in-process; either way the
+    numbers are byte-identical (the engine's determinism contract).
+    """
+    from repro.engine import ExperimentPool, make_sweep_cells
+    from repro.harness.experiment import config_to_spec
+
+    specs = [config_to_spec(config) for config in configs]
+    cells = make_sweep_cells(
+        [w.name for w in suite()], specs, scale=bench_scale()
+    )
+    results = ExperimentPool(jobs=engine_jobs(), strict=True).run(cells)
+    normalized: Dict[str, Dict[str, float]] = {}
+    for result in results:
+        normalized.setdefault(result.config, {})[result.workload] = (
+            result.metrics["normalized"]
+        )
+    return normalized
+
+
 def suite() -> List[Workload]:
     return benchmark_suite()
 

@@ -13,8 +13,8 @@ PEP(64,17) add almost nothing; overhead grows monotonically-ish with
 samples per tick, and PEP(1024,17) adds percent-scale cost.
 """
 
-from benchmarks._common import average, context_for, emit, suite
-from repro.harness.experiment import BASE, INSTR_ONLY, pep_config, run_config
+from benchmarks._common import average, emit, suite, sweep_normalized
+from repro.harness.experiment import INSTR_ONLY, pep_config
 from repro.harness.report import render_overhead_figure
 
 CONFIGS = [
@@ -28,15 +28,9 @@ CONFIGS = [
 
 
 def regenerate():
-    normalized = {config.name: {} for config in CONFIGS}
-    for workload in suite():
-        ctx = context_for(workload)
-        for config in CONFIGS:
-            _, result = run_config(ctx, config)
-            normalized[config.name][workload.name] = (
-                result.cycles / ctx.base_cycles
-            )
-    return normalized
+    # Routed through the parallel experiment engine (REPRO_JOBS workers;
+    # serial by default) — same bytes either way.
+    return sweep_normalized(CONFIGS)
 
 
 def test_fig6_execution_overhead(benchmark):

@@ -1,0 +1,364 @@
+#!/usr/bin/env python
+"""Performance trajectory recorder: writes ``BENCH_perf.json``.
+
+Times the hot layers the perf PR touched — interpreter dispatch (fused
+vs unfused superinstructions), lowering with and without the compilation
+cache, path reconstruction with cold vs warm memos, and a small fig6
+sweep through the experiment engine serial vs parallel — and records
+them, normalized by a pure-Python calibration loop so numbers are
+comparable across machines.
+
+Usage::
+
+    python scripts/bench_perf.py                 # full run
+    python scripts/bench_perf.py --quick         # CI-sized run
+    python scripts/bench_perf.py --quick --check BENCH_perf.json
+                                                 # regression gate
+
+``--check BASELINE`` compares the calibration-normalized interpreter
+rate against the baseline file and exits non-zero on a >25% regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+SCHEMA = 1
+REGRESSION_TOLERANCE = 0.25  # fail --check on >25% normalized slowdown
+
+
+# -- calibration ------------------------------------------------------------
+
+
+def calibrate() -> dict:
+    """Rate of a fixed pure-Python loop, used to normalize every metric.
+
+    The interpreter is pure Python too, so machine speed and Python
+    version shift both in lockstep; their *ratio* is what the regression
+    gate compares.
+    """
+    n = 2_000_000
+    best = float("inf")
+    for _ in range(3):
+        acc = 0
+        i = 0
+        t0 = time.perf_counter()
+        while i < n:
+            acc += i
+            i += 1
+        best = min(best, time.perf_counter() - t0)
+    return {"pyops_per_sec": n / best, "loop_iterations": n}
+
+
+# -- interpreter throughput -------------------------------------------------
+
+
+def _lower_image(program, costs, fuse):
+    from repro.instrument.yieldpoints import insert_yieldpoints
+    from repro.vm.interpreter import lower_method
+
+    code = {}
+    for method in program.iter_methods():
+        clone = method.clone()
+        insert_yieldpoints(clone)
+        code[method.name] = lower_method(clone, "opt2", costs, fuse=fuse)
+    return code
+
+
+def bench_interpreter(quick: bool) -> dict:
+    from repro.vm.costs import CostModel
+    from repro.vm.runtime import VirtualMachine
+    from repro.workloads.suite import get_workload
+
+    # compress is the tight-loop workload; ps has the branchiest CFG
+    # (the largest fraction of fused T_BRCMP terminators), so together
+    # they bracket how much dispatch fusion can matter.
+    names = ["compress", "ps"]
+    scale = 1.0 if quick else 3.0
+    reps = 3 if quick else 8
+    costs = CostModel()
+    programs = [get_workload(name).build(scale) for name in names]
+    rates = {}
+    for fuse in (True, False):
+        images = [
+            (program, _lower_image(program, costs, fuse))
+            for program in programs
+        ]
+        for program, code in images:  # warmup
+            VirtualMachine(code, program.main, costs=costs).run()
+        cycles = 0.0
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            for program, code in images:
+                vm = VirtualMachine(code, program.main, costs=costs)
+                cycles += vm.run().cycles
+        wall = time.perf_counter() - t0
+        rates["fused" if fuse else "unfused"] = cycles / wall
+    return {
+        "workloads": names,
+        "scale": scale,
+        "reps": reps,
+        "fused_vcycles_per_sec": rates["fused"],
+        "unfused_vcycles_per_sec": rates["unfused"],
+        "fusion_speedup": rates["fused"] / rates["unfused"],
+    }
+
+
+# -- lowering and the compilation cache -------------------------------------
+
+
+def bench_lowering(quick: bool) -> dict:
+    from repro.adaptive.optimizing import optimize_method
+    from repro.vm import codecache
+    from repro.vm.costs import CostModel
+    from repro.workloads.suite import get_workload
+
+    program = get_workload("db").build(1.0)
+    costs = CostModel()
+    methods = list(program.iter_methods())
+    reps = 20 if quick else 100
+    cache = codecache.GLOBAL
+
+    def one_pass():
+        for method in methods:
+            optimize_method(method, program, 2, None, costs)
+
+    cache.clear()
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        cache.clear()  # every compile is a miss
+        one_pass()
+    cold_wall = time.perf_counter() - t0
+
+    cache.clear()
+    one_pass()  # warm the cache once
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        one_pass()  # every compile is a hit
+    warm_wall = time.perf_counter() - t0
+
+    compiles = reps * len(methods)
+    return {
+        "workload": "db",
+        "methods": len(methods),
+        "reps": reps,
+        "cold_compiles_per_sec": compiles / cold_wall,
+        "warm_compiles_per_sec": compiles / warm_wall,
+        "cache_speedup": cold_wall / warm_wall,
+    }
+
+
+# -- path reconstruction ----------------------------------------------------
+
+
+def bench_reconstruction(quick: bool) -> dict:
+    from repro.instrument.blpp_full import apply_full_blpp
+    from repro.instrument.yieldpoints import insert_yieldpoints
+    from repro.profiling.regenerate import PathResolver
+    from repro.vm.costs import CostModel
+    from repro.vm.interpreter import lower_method
+    from repro.vm.runtime import VirtualMachine
+    from repro.workloads.suite import get_workload
+
+    # Full (non-sampled) path profiling records every completed path, so
+    # one run yields the method's observed path-number population.
+    program = get_workload("db").build(1.0)
+    costs = CostModel()
+    code = {}
+    dags = {}
+    for method in program.iter_methods():
+        clone = method.clone()
+        insert_yieldpoints(clone)
+        inst = apply_full_blpp(clone, None)
+        cm = lower_method(clone, "opt2", costs)
+        if inst is not None:
+            cm.attach_dag(inst.dag)
+            dags[cm.profile_key] = inst.dag
+        code[method.name] = cm
+    vm = VirtualMachine(code, program.main, costs=costs)
+    vm.run()
+    observed = [
+        (key, number)
+        for key, number, _ in vm.path_profile.items()
+        if key in dags
+    ]
+    if not observed:
+        return {"resolved_paths": 0}
+
+    reps = 30 if quick else 150
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        # Fresh unshared resolvers: every resolution is a memo miss.
+        resolvers = {key: PathResolver(dag, shared=False) for key, dag in dags.items()}
+        for key, number in observed:
+            resolvers[key].branch_events(number)
+    cold_wall = time.perf_counter() - t0
+
+    resolvers = {key: PathResolver(dag, shared=False) for key, dag in dags.items()}
+    for key, number in observed:
+        resolvers[key].branch_events(number)  # warm the memo
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        for key, number in observed:
+            resolvers[key].branch_events(number)
+    warm_wall = time.perf_counter() - t0
+
+    events = reps * len(observed)
+    return {
+        "workload": "db",
+        "distinct_paths": len(observed),
+        "reps": reps,
+        "cold_resolutions_per_sec": events / cold_wall,
+        "warm_resolutions_per_sec": events / warm_wall,
+        "memo_speedup": cold_wall / warm_wall,
+    }
+
+
+# -- the engine: serial vs parallel sweep -----------------------------------
+
+
+def bench_sweep(quick: bool, jobs: int) -> dict:
+    from repro.engine import ExperimentPool, make_sweep_cells
+    from repro.harness.experiment import BASE, config_to_spec, pep_config
+
+    names = ["compress", "db"] if quick else ["compress", "db", "fop", "jess"]
+    specs = [config_to_spec(BASE), config_to_spec(pep_config(64, 17))]
+    scale = 1.0 if quick else 2.0
+    cells = make_sweep_cells(names, specs, scale=scale)
+
+    # Parallel first: the serial pass in the parent must not pre-warm
+    # contexts that forked workers would then inherit.
+    t0 = time.perf_counter()
+    parallel = ExperimentPool(jobs=jobs, strict=True).run(cells)
+    parallel_wall = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    serial = ExperimentPool(jobs=1, strict=True).run(cells)
+    serial_wall = time.perf_counter() - t0
+
+    digests_match = all(
+        s.metrics["digest"] == p.metrics["digest"]
+        for s, p in zip(serial, parallel)
+    )
+    return {
+        "workloads": names,
+        "cells": len(cells),
+        "scale": scale,
+        "jobs": jobs,
+        "serial_wall_seconds": serial_wall,
+        "parallel_wall_seconds": parallel_wall,
+        "parallel_speedup": serial_wall / parallel_wall,
+        "digests_match": digests_match,
+    }
+
+
+# -- driver -----------------------------------------------------------------
+
+
+def normalized_interp_rate(report: dict) -> float:
+    return (
+        report["metrics"]["interpreter"]["fused_vcycles_per_sec"]
+        / report["calibration"]["pyops_per_sec"]
+    )
+
+
+def check_regression(report: dict, baseline_path: str) -> int:
+    try:
+        with open(baseline_path) as fh:
+            baseline = json.load(fh)
+        reference = normalized_interp_rate(baseline)
+    except (OSError, ValueError, KeyError, ZeroDivisionError) as exc:
+        print(f"bench_perf: unusable baseline {baseline_path!r}: {exc}")
+        return 2
+    current = normalized_interp_rate(report)
+    ratio = current / reference
+    floor = 1.0 - REGRESSION_TOLERANCE
+    verdict = "OK" if ratio >= floor else "REGRESSION"
+    print(
+        f"bench_perf check: normalized interpreter rate "
+        f"{current:.4f} vs baseline {reference:.4f} "
+        f"(ratio {ratio:.2f}, floor {floor:.2f}) -> {verdict}"
+    )
+    return 0 if ratio >= floor else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI-sized run")
+    parser.add_argument(
+        "--out",
+        default=os.path.join(_ROOT, "BENCH_perf.json"),
+        help="output path (default: BENCH_perf.json at the repo root)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=4,
+        help="worker count for the parallel sweep comparison (default 4)",
+    )
+    parser.add_argument(
+        "--check",
+        metavar="BASELINE",
+        default=None,
+        help="compare against a baseline BENCH_perf.json; exit 1 on a "
+        f">{REGRESSION_TOLERANCE:.0%} normalized interpreter regression",
+    )
+    args = parser.parse_args(argv)
+
+    report = {
+        "schema": SCHEMA,
+        "generated_by": "scripts/bench_perf.py",
+        "quick": args.quick,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "calibration": calibrate(),
+        "metrics": {},
+    }
+    stages = [
+        ("interpreter", lambda: bench_interpreter(args.quick)),
+        ("lowering", lambda: bench_lowering(args.quick)),
+        ("reconstruction", lambda: bench_reconstruction(args.quick)),
+        ("sweep", lambda: bench_sweep(args.quick, args.jobs)),
+    ]
+    for name, stage in stages:
+        t0 = time.perf_counter()
+        report["metrics"][name] = stage()
+        print(
+            f"bench_perf: {name} done in "
+            f"{time.perf_counter() - t0:.1f}s", flush=True
+        )
+
+    report["normalized_interp_rate"] = normalized_interp_rate(report)
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"bench_perf: wrote {args.out}")
+
+    interp = report["metrics"]["interpreter"]
+    sweep = report["metrics"]["sweep"]
+    print(
+        f"bench_perf: fusion speedup {interp['fusion_speedup']:.2f}x, "
+        f"parallel speedup {sweep['parallel_speedup']:.2f}x "
+        f"({sweep['jobs']} jobs on {report['cpu_count']} cores), "
+        f"digests_match={sweep['digests_match']}"
+    )
+    if not sweep["digests_match"]:
+        print("bench_perf: FATAL parallel results diverged from serial")
+        return 1
+    if args.check:
+        return check_regression(report, args.check)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -114,6 +114,111 @@ def cmd_bench_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_sweep_config(token: str):
+    from repro.harness.experiment import (
+        BASE,
+        CLASSIC_BLPP,
+        INSTR_ONLY,
+        PERFECT_EDGE,
+        PERFECT_PATH,
+        pep_config,
+    )
+
+    named = {
+        "base": BASE,
+        "instr": INSTR_ONLY,
+        "perfect-path": PERFECT_PATH,
+        "perfect-edge": PERFECT_EDGE,
+        "classic-blpp": CLASSIC_BLPP,
+    }
+    if token in named:
+        return named[token]
+    if token.startswith("pep:"):
+        try:
+            samples, stride = token[4:].split(",", 1)
+            return pep_config(int(samples), int(stride))
+        except ValueError:
+            pass
+    raise SystemExit(
+        f"unknown config {token!r} (use base, instr, perfect-path, "
+        f"perfect-edge, classic-blpp, or pep:SAMPLES,STRIDE)"
+    )
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from repro.engine import ExperimentPool, make_sweep_cells
+    from repro.harness.experiment import config_to_spec
+    from repro.workloads.suite import benchmark_suite, get_workload
+
+    if args.workloads:
+        names = [get_workload(n).name for n in args.workloads]
+    else:
+        names = [w.name for w in benchmark_suite()]
+    configs = [_parse_sweep_config(t) for t in (args.configs or ["base", "pep:64,17"])]
+    cells = make_sweep_cells(
+        names,
+        [config_to_spec(c) for c in configs],
+        scale=args.scale,
+        trials=args.trials,
+        master_seed=args.seed,
+    )
+    pool = ExperimentPool(
+        jobs=args.jobs,
+        timeout=args.timeout,
+        retries=args.retries,
+        persist_path=args.codecache,
+    )
+    start = time.perf_counter()
+    results = pool.run(cells)
+    elapsed = time.perf_counter() - start
+
+    if args.json:
+        payload = {
+            "jobs": pool.jobs,
+            "scale": args.scale,
+            "seed": args.seed,
+            "wall_seconds": elapsed,
+            "cells": [
+                {
+                    "index": r.index,
+                    "workload": r.workload,
+                    "config": r.config,
+                    "trial": r.trial,
+                    "ok": r.ok,
+                    "error": r.error,
+                    "attempts": r.attempts,
+                    "metrics": r.metrics,
+                }
+                for r in results
+            ],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if all(r.ok for r in results) else 1
+
+    print(f"# sweep: {len(results)} cells, {pool.jobs} job(s), "
+          f"{elapsed:.2f}s wall")
+    print(f"{'workload':12s} {'config':24s} {'trial':>5s} "
+          f"{'normalized':>10s} {'samples':>8s}")
+    failed = 0
+    for r in results:
+        if r.ok:
+            print(
+                f"{r.workload:12s} {r.config:24s} {r.trial:5d} "
+                f"{r.metrics['normalized']:10.4f} "
+                f"{r.metrics['samples_taken']:8d}"
+            )
+        else:
+            failed += 1
+            print(f"{r.workload:12s} {r.config:24s} {r.trial:5d} "
+                  f"FAILED[{r.error_type}]: {r.error}")
+    if failed:
+        print(f"# {failed} cell(s) failed", file=sys.stderr)
+    return 0 if failed == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -162,6 +267,51 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench_p = sub.add_parser("bench-list", help="list the workload suite")
     bench_p.set_defaults(func=cmd_bench_list)
+
+    sweep_p = sub.add_parser(
+        "sweep",
+        help="run a (workload x config x trial) sweep on the parallel "
+        "experiment engine",
+    )
+    sweep_p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: os.cpu_count(); 1 = serial)",
+    )
+    sweep_p.add_argument("--scale", type=float, default=2.0)
+    sweep_p.add_argument(
+        "--workloads",
+        nargs="*",
+        default=None,
+        metavar="NAME",
+        help="workload subset (default: the full 14-benchmark suite)",
+    )
+    sweep_p.add_argument(
+        "--configs",
+        nargs="*",
+        default=None,
+        metavar="CONFIG",
+        help="configs: base, instr, perfect-path, perfect-edge, "
+        "classic-blpp, pep:SAMPLES,STRIDE (default: base pep:64,17)",
+    )
+    sweep_p.add_argument("--trials", type=int, default=1)
+    sweep_p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-cell wall-clock budget in seconds",
+    )
+    sweep_p.add_argument("--retries", type=int, default=1)
+    sweep_p.add_argument("--seed", type=int, default=0)
+    sweep_p.add_argument("--json", action="store_true")
+    sweep_p.add_argument(
+        "--codecache",
+        default=None,
+        metavar="PATH",
+        help="persist/pre-load the compilation cache at PATH",
+    )
+    sweep_p.set_defaults(func=cmd_sweep)
     return parser
 
 

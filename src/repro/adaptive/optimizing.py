@@ -87,6 +87,23 @@ def optimize_method(
             f"{method.name}: injected opt-compile fault (level {level})"
         )
 
+    # Content-addressed compile cache: lowering is deterministic, so a
+    # prior compile of identical inputs is returned directly (compile
+    # cycles are still charged — the cache saves wall-clock only).
+    # Fault-injected compiles bypass the cache in both directions.
+    from repro.vm import codecache
+
+    cache = codecache.active_cache() if injector is None else None
+    key: Optional[tuple] = None
+    if cache is not None:
+        key = codecache.optimize_key(
+            method, program, level, instrumentation, unroll, version,
+            costs, edge_profile,
+        )
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+
     clone = method.clone()
     if level >= 1:
         inline_small_methods(clone, program)
@@ -126,4 +143,6 @@ def optimize_method(
     compile_cycles = costs.compile_cost(tier, method.instruction_count())
     if instrumentation is not None:
         compile_cycles += costs.pep_pass_cost_per_instr * method.instruction_count()
+    if cache is not None and key is not None:
+        cache.put(key, cm, compile_cycles)
     return cm, compile_cycles

@@ -155,11 +155,44 @@ def run_iteration(
     sampling: Optional[SamplingConfig] = None,
     include_compile_cycles: bool = False,
     fuel: int = 500_000_000,
+    tick_jitter: float = 0.0,
+    jitter_seed: int = 0,
 ) -> RunResult:
     """Run one replay iteration on a fresh VM.
 
     ``include_compile_cycles=True`` models iteration 1 (compilation +
     execution); ``False`` models iteration 2 (execution only).
+    """
+    _, result = run_iteration_with_vm(
+        image,
+        tick_interval=tick_interval,
+        sampling=sampling,
+        include_compile_cycles=include_compile_cycles,
+        fuel=fuel,
+        tick_jitter=tick_jitter,
+        jitter_seed=jitter_seed,
+    )
+    return result
+
+
+def run_iteration_with_vm(
+    image: ReplayImage,
+    tick_interval: Optional[float] = None,
+    sampling: Optional[SamplingConfig] = None,
+    include_compile_cycles: bool = False,
+    fuel: int = 500_000_000,
+    tick_jitter: float = 0.0,
+    jitter_seed: int = 0,
+):
+    """Like :func:`run_iteration` but also returns the VM (for profiles).
+
+    ``tick_jitter`` > 0 offsets the *first* timer tick by a deterministic
+    fraction (up to ±jitter/2 of one interval) drawn from a
+    :class:`~repro.util.rng.DeterministicRng` stream seeded by
+    ``jitter_seed``.  Multi-trial experiment cells use this to decorrelate
+    timer phase across trials while staying bit-reproducible: the same
+    (image, seed) always yields the same run, regardless of which process
+    executes it.
     """
     sampler = ArnoldGroveSampler(sampling) if sampling is not None else None
     vm = VirtualMachine(
@@ -169,28 +202,13 @@ def run_iteration(
         tick_interval=tick_interval,
         sampler=sampler,
     )
-    if include_compile_cycles:
-        vm.cycles += image.compile_cycles
-        vm.compile_cycles += image.compile_cycles
-    return vm.run(fuel=fuel)
+    if tick_interval is not None and tick_jitter > 0.0:
+        from repro.util.rng import DeterministicRng
 
-
-def run_iteration_with_vm(
-    image: ReplayImage,
-    tick_interval: Optional[float] = None,
-    sampling: Optional[SamplingConfig] = None,
-    include_compile_cycles: bool = False,
-    fuel: int = 500_000_000,
-):
-    """Like :func:`run_iteration` but also returns the VM (for profiles)."""
-    sampler = ArnoldGroveSampler(sampling) if sampling is not None else None
-    vm = VirtualMachine(
-        dict(image.code),
-        image.main,
-        costs=image.costs,
-        tick_interval=tick_interval,
-        sampler=sampler,
-    )
+        rng = DeterministicRng.from_name("tick-jitter", salt=jitter_seed)
+        vm.next_tick = tick_interval * (
+            1.0 + tick_jitter * (rng.random() - 0.5)
+        )
     if include_compile_cycles:
         vm.cycles += image.compile_cycles
         vm.compile_cycles += image.compile_cycles

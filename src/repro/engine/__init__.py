@@ -1,0 +1,26 @@
+"""The parallel experiment engine.
+
+Every figure in the paper is an embarrassingly parallel sweep over
+(configuration x workload x trial) cells; this package shards those cells
+across worker processes with deterministic per-cell seeding, per-cell
+timeout + retry, and an ordered result merge, so a sweep's output is
+byte-identical to the serial run that the rest of the harness performs.
+"""
+
+from repro.engine.cells import (
+    CellResult,
+    CellSpec,
+    cell_seed,
+    make_sweep_cells,
+    run_cell,
+)
+from repro.engine.pool import ExperimentPool
+
+__all__ = [
+    "CellResult",
+    "CellSpec",
+    "ExperimentPool",
+    "cell_seed",
+    "make_sweep_cells",
+    "run_cell",
+]

@@ -1,0 +1,279 @@
+"""The multiprocessing experiment pool.
+
+Sharding strategy: one task per *workload*, not per cell.  Preparing a
+workload context (build + advice recording + Base calibration) costs on
+the order of two full run-units, so scattering a workload's cells across
+workers would repeat that preparation per worker; keeping them together
+amortizes it exactly as the serial harness does.  With the suite's 14
+workloads on a 4-core machine this still yields ~3.5x ideal speedup.
+
+Determinism contract: a cell's result depends only on its
+:class:`~repro.engine.cells.CellSpec` (workload, scale, config, seed) —
+never on worker identity, scheduling, or co-resident cells — so the
+merged results of a parallel sweep are byte-identical to a serial sweep
+of the same cells.  ``tests/test_engine.py`` asserts this on the profile
+digests.
+
+Failure policy: a cell that fails or times out in a worker is retried
+*serially in the parent* (up to ``retries`` times); a cell that still
+fails produces a :class:`~repro.engine.cells.CellResult` carrying the
+error (or raises :class:`~repro.errors.CellExecutionError` in strict
+mode).  This reuses the PR-1 philosophy: the sweep degrades, it does not
+crash.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.cells import CellResult, CellSpec, run_cell
+from repro.errors import CellExecutionError, CellTimeoutError
+
+# Minimum per-shard wall-clock budget when a per-cell timeout is set:
+# shard timeouts scale with shard size but never drop below this.
+_MIN_SHARD_TIMEOUT = 5.0
+
+
+def _init_worker(codecache_path: Optional[str]) -> None:
+    """Worker initializer: optionally pre-warm the compilation cache."""
+    if codecache_path and os.path.exists(codecache_path):
+        from repro.vm import codecache
+
+        cache = codecache.active_cache()
+        if cache is not None:
+            cache.load(codecache_path)
+
+
+def _run_shard(
+    shard: Sequence[CellSpec],
+) -> List[Tuple[int, Optional[Dict], Optional[str], Optional[str], float]]:
+    """Run one workload's cells; never raises (errors become payloads)."""
+    out: List[Tuple[int, Optional[Dict], Optional[str], Optional[str], float]] = []
+    for spec in shard:
+        start = time.perf_counter()
+        try:
+            metrics = run_cell(spec)
+            out.append(
+                (spec.index, metrics, None, None, time.perf_counter() - start)
+            )
+        except BaseException as exc:  # noqa: BLE001 - payload, not policy
+            out.append(
+                (
+                    spec.index,
+                    None,
+                    str(exc),
+                    type(exc).__name__,
+                    time.perf_counter() - start,
+                )
+            )
+    return out
+
+
+def _run_shard_remote(
+    shard: Sequence[CellSpec], collect_cache: bool
+) -> Tuple[List[tuple], List[tuple]]:
+    """Worker entry point: shard outcomes plus (optionally) the worker's
+    compilation-cache entries, so the parent can merge and persist them —
+    in parallel mode all compilation happens in workers, and the parent's
+    own cache would otherwise have nothing to save.
+    """
+    out = _run_shard(shard)
+    entries: List[tuple] = []
+    if collect_cache:
+        from repro.vm import codecache
+
+        cache = codecache.active_cache()
+        if cache is not None:
+            entries = list(cache.entries.items())
+    return out, entries
+
+
+class ExperimentPool:
+    """Runs experiment cells across worker processes, deterministically.
+
+    ``jobs=None`` uses ``os.cpu_count()``; ``jobs<=1`` runs serially in
+    the current process (no subprocess round-trips at all).  ``timeout``
+    is a per-cell wall-clock budget in seconds (shards get
+    ``timeout * len(shard)``); ``retries`` bounds the serial in-parent
+    retries of failed or timed-out cells.  ``persist_path`` names a
+    compilation-cache file: workers pre-load it, and the parent saves its
+    own cache there after the sweep.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        timeout: Optional[float] = None,
+        retries: int = 1,
+        strict: bool = False,
+        persist_path: Optional[str] = None,
+    ) -> None:
+        if jobs is None:
+            jobs = os.cpu_count() or 1
+        if jobs < 1:
+            jobs = 1
+        self.jobs = jobs
+        self.timeout = timeout
+        self.retries = retries
+        self.strict = strict
+        self.persist_path = persist_path
+
+    # -- public API ---------------------------------------------------------
+
+    def run(self, cells: Sequence[CellSpec]) -> List[CellResult]:
+        """Execute every cell; results are ordered by cell index."""
+        if not cells:
+            return []
+        shards = self._shard(cells)
+        if self.jobs <= 1 or len(shards) == 1:
+            outcomes = []
+            for shard in shards:
+                outcomes.extend(_run_shard(shard))
+        else:
+            outcomes = self._run_parallel(shards)
+        results = self._merge(cells, outcomes)
+        self._persist()
+        return results
+
+    # -- internals ----------------------------------------------------------
+
+    @staticmethod
+    def _shard(cells: Sequence[CellSpec]) -> List[List[CellSpec]]:
+        """Group cells by workload, preserving cell order within groups."""
+        by_workload: Dict[str, List[CellSpec]] = {}
+        for spec in cells:
+            by_workload.setdefault(spec.workload, []).append(spec)
+        return list(by_workload.values())
+
+    def _run_parallel(self, shards: List[List[CellSpec]]) -> List[tuple]:
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            ctx = multiprocessing.get_context("spawn")
+        outcomes: List[tuple] = []
+        pool = ctx.Pool(
+            processes=min(self.jobs, len(shards)),
+            initializer=_init_worker,
+            initargs=(self.persist_path,),
+        )
+        collect_cache = self.persist_path is not None
+        try:
+            pending = [
+                (
+                    shard,
+                    pool.apply_async(
+                        _run_shard_remote, (shard, collect_cache)
+                    ),
+                )
+                for shard in shards
+            ]
+            for shard, async_result in pending:
+                budget = None
+                if self.timeout is not None:
+                    budget = max(
+                        self.timeout * len(shard), _MIN_SHARD_TIMEOUT
+                    )
+                try:
+                    shard_outcomes, cache_entries = async_result.get(budget)
+                    outcomes.extend(shard_outcomes)
+                    self._absorb_cache(cache_entries)
+                except multiprocessing.TimeoutError:
+                    # The whole shard blew its budget; every cell in it
+                    # becomes a timeout outcome (retried serially below).
+                    message = (
+                        f"shard {shard[0].workload!r} exceeded "
+                        f"{budget:.1f}s wall-clock budget"
+                    )
+                    outcomes.extend(
+                        (
+                            spec.index,
+                            None,
+                            message,
+                            CellTimeoutError.__name__,
+                            budget or 0.0,
+                        )
+                        for spec in shard
+                    )
+                except Exception as exc:  # worker died / unpicklable result
+                    outcomes.extend(
+                        (
+                            spec.index,
+                            None,
+                            str(exc),
+                            type(exc).__name__,
+                            0.0,
+                        )
+                        for spec in shard
+                    )
+        finally:
+            pool.terminate()
+            pool.join()
+        return outcomes
+
+    def _merge(
+        self, cells: Sequence[CellSpec], outcomes: List[tuple]
+    ) -> List[CellResult]:
+        by_index = {o[0]: o for o in outcomes}
+        results: List[CellResult] = []
+        for spec in sorted(cells, key=lambda s: s.index):
+            index, metrics, error, error_type, duration = by_index[spec.index]
+            attempts = 1
+            while metrics is None and attempts <= self.retries:
+                # Serial in-parent retry: deterministic cells make this a
+                # pure re-execution, so it only helps with transient
+                # worker-side failures (OOM kill, timeout contention).
+                attempts += 1
+                start = time.perf_counter()
+                try:
+                    metrics = run_cell(spec)
+                    error = error_type = None
+                except BaseException as exc:  # noqa: BLE001
+                    error = str(exc)
+                    error_type = type(exc).__name__
+                duration = time.perf_counter() - start
+            if metrics is None and self.strict:
+                raise CellExecutionError(
+                    f"cell #{spec.index} ({spec.workload}/"
+                    f"{spec.config_spec.get('name')}) failed after "
+                    f"{attempts} attempt(s): {error}"
+                )
+            results.append(
+                CellResult(
+                    index=spec.index,
+                    workload=spec.workload,
+                    config=str(spec.config_spec.get("name")),
+                    trial=spec.trial,
+                    metrics=metrics,
+                    error=error,
+                    error_type=error_type,
+                    attempts=attempts,
+                    duration=duration,
+                )
+            )
+        return results
+
+    @staticmethod
+    def _absorb_cache(entries: List[tuple]) -> None:
+        """Merge worker compilation-cache entries into the parent cache."""
+        if not entries:
+            return
+        from repro.vm import codecache
+
+        cache = codecache.active_cache()
+        if cache is None:
+            return
+        for key, (cm, cycles) in entries:
+            if key not in cache.entries:
+                cache.put(key, cm, cycles)
+
+    def _persist(self) -> None:
+        if not self.persist_path:
+            return
+        from repro.vm import codecache
+
+        cache = codecache.active_cache()
+        if cache is not None and len(cache):
+            cache.save(self.persist_path)

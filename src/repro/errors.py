@@ -105,6 +105,18 @@ class WorkloadError(ReproError):
     """A synthetic workload was configured with invalid parameters."""
 
 
+class EngineError(ReproError):
+    """The parallel experiment engine failed to run a sweep."""
+
+
+class CellTimeoutError(EngineError):
+    """An experiment cell exceeded its wall-clock budget."""
+
+
+class CellExecutionError(EngineError):
+    """An experiment cell failed in a worker (and in the serial retry)."""
+
+
 class StatsError(ReproError, ValueError):
     """A statistics helper was given unusable input (empty, non-positive).
 

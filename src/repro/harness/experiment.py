@@ -181,6 +181,8 @@ def run_config(
     config: RunConfig,
     include_compile_cycles: bool = False,
     profile_override=None,
+    tick_jitter: float = 0.0,
+    jitter_seed: int = 0,
 ) -> Tuple[VirtualMachine, RunResult]:
     """Execute one configuration of a prepared workload.
 
@@ -188,9 +190,11 @@ def run_config(
     configurations run untimed (no ticks), like the paper's second replay
     iteration of Base and instrumentation-only runs.
     """
-    # Sampled runs get a freshly compiled image so one configuration's
-    # path->edges expansion cache cannot subsidise another's handler costs.
-    cacheable = config.sampling is None and profile_override is None
+    # Images are cacheable even for sampled runs: first-time expansion
+    # costs are accounted per-VM (vm.expanded_paths), so one run's
+    # path->edges expansion warmth cannot subsidise another's handler
+    # charges even when compiled code (and its resolver memo) is shared.
+    cacheable = profile_override is None
     image = ctx.image(
         config.instrumentation,
         profile_override=profile_override,
@@ -204,4 +208,105 @@ def run_config(
         tick_interval=tick,
         sampling=config.sampling,
         include_compile_cycles=include_compile_cycles,
+        tick_jitter=tick_jitter,
+        jitter_seed=jitter_seed,
     )
+
+
+# -- experiment cells (the parallel engine's unit of work) ------------------
+
+
+def config_to_spec(config: RunConfig) -> Dict:
+    """A picklable, process-portable description of a RunConfig."""
+    spec: Dict = {
+        "name": config.name,
+        "instrumentation": config.instrumentation,
+    }
+    if config.sampling is not None:
+        spec["sampling"] = {
+            "samples": config.sampling.samples,
+            "stride": config.sampling.stride,
+            "simplified": config.sampling.simplified,
+        }
+    return spec
+
+
+def config_from_spec(spec: Dict) -> RunConfig:
+    sampling = None
+    raw = spec.get("sampling")
+    if raw is not None:
+        sampling = SamplingConfig(
+            raw["samples"], raw["stride"], simplified=raw.get("simplified", True)
+        )
+    return RunConfig(spec["name"], spec.get("instrumentation"), sampling)
+
+
+def measure_cell(
+    workload_name: str,
+    scale: float,
+    config_spec: Dict,
+    seed: int = 0,
+    tick_jitter: float = 0.0,
+    collect_profiles: bool = False,
+    include_compile_cycles: bool = False,
+) -> Dict:
+    """Measure one (workload, config) cell; returns plain picklable data.
+
+    This is the unit the parallel engine ships to worker processes: the
+    worker re-prepares the workload context from scratch (deterministic),
+    runs the configuration, and returns metrics plus a SHA-256 digest of
+    the run's profiles and outputs — the digest is what the engine's
+    serial-vs-parallel identity checks compare.
+    """
+    from repro.persist import (
+        edge_profile_to_dict,
+        path_profile_to_dict,
+        payload_checksum,
+    )
+    from repro.workloads.suite import get_workload
+
+    workload = get_workload(workload_name)
+    ctx = prepare(workload, scale=scale)
+    config = config_from_spec(config_spec)
+    vm, result = run_config(
+        ctx,
+        config,
+        include_compile_cycles=include_compile_cycles,
+        tick_jitter=tick_jitter,
+        jitter_seed=seed,
+    )
+    paths = path_profile_to_dict(vm.path_profile)
+    edges = edge_profile_to_dict(vm.edge_profile)
+    digest = payload_checksum(
+        {
+            "paths": paths,
+            "edges": edges,
+            "output": list(vm.output),
+            "return_value": result.return_value,
+            "cycles": result.cycles,
+        }
+    )
+    metrics: Dict = {
+        "workload": workload_name,
+        "config": config.name,
+        "scale": scale,
+        "seed": seed,
+        "cycles": result.cycles,
+        "base_cycles": ctx.base_cycles,
+        "normalized": result.cycles / ctx.base_cycles,
+        "ticks": result.ticks,
+        "samples_taken": result.samples_taken,
+        "strides_skipped": result.strides_skipped,
+        "path_count_updates": result.path_count_updates,
+        "return_value": result.return_value,
+        "compile_cycles": result.compile_cycles,
+        "recompilations": result.recompilations,
+        "health": (
+            result.health.summary() if result.health is not None else None
+        ),
+        "digest": digest,
+    }
+    if collect_profiles:
+        metrics["paths"] = paths
+        metrics["edges"] = edges
+    return metrics

@@ -8,6 +8,17 @@ sequence whose values sum to the path number (paper sections 3.2/3.3).
 
 PEP computes a path's edges only on first sample and caches the result
 (paper section 4.3); :class:`PathResolver` implements that cache.
+
+The memo is *shared* per (method name, DAG fingerprint): adaptive
+recompilation produces a new :class:`~repro.vm.interpreter.CompiledMethod`
+(and a new resolver) for every version bump, but the P-DAG — and therefore
+every path expansion — is usually unchanged, so resolvers for structurally
+identical DAGs attach to one process-wide LRU-bounded memo instead of
+re-deriving every path from scratch.  Reconstruction is a pure function of
+(DAG, path number), so sharing cannot change results; cost *accounting*
+for first-time expansion is the VM's job (``vm.expanded_paths``), not the
+memo's, which keeps virtual-cycle charges independent of process-global
+cache warmth.
 """
 
 from __future__ import annotations
@@ -17,8 +28,17 @@ from typing import Dict, List, Optional, Tuple
 from repro.bytecode.method import BranchRef
 from repro.cfg.dag import DagEdge, PDag
 from repro.errors import PathReconstructionError
+from repro.util.rng import stable_hash
 
 BranchEvent = Tuple[BranchRef, bool]
+
+# Per-memo bound on cached path expansions.  Path-rich methods (the paper
+# caps numbering at ~2**16 paths) could otherwise grow a memo without
+# limit across a long adaptive run.
+DEFAULT_MEMO_BOUND = 4096
+
+# Bound on distinct (method, DAG) memos kept process-wide.
+_REGISTRY_BOUND = 512
 
 
 def reconstruct_path(
@@ -75,23 +95,104 @@ def reconstruct_path(
     return edges
 
 
+def dag_fingerprint(dag: PDag) -> int:
+    """A stable structural fingerprint of a numbered P-DAG.
+
+    Two DAGs with the same fingerprint assign the same edge sequence to
+    every path number, so their resolvers may share one expansion memo.
+    Uses :func:`repro.util.rng.stable_hash` (process-salt-free), so the
+    fingerprint is also identical across worker processes.
+    """
+    parts = [
+        dag.method_name,
+        str(dag.entry),
+        str(dag.num_paths),
+        str(dag.truncated),
+    ]
+    for edge in dag.edges:
+        parts.append(
+            f"{edge.src}>{edge.dst}|{edge.kind}|{edge.origin}"
+            f"|{edge.taken}|{edge.value}"
+        )
+    return stable_hash("\x1f".join(parts))
+
+
+class _SharedMemo:
+    """A bounded LRU map from path number to (branch events, length)."""
+
+    __slots__ = ("bound", "entries")
+
+    def __init__(self, bound: int) -> None:
+        self.bound = bound
+        self.entries: Dict[int, Tuple[List[BranchEvent], int]] = {}
+
+    def get(self, key: int) -> Optional[Tuple[List[BranchEvent], int]]:
+        # Pop + reinsert keeps dict insertion order as recency order.
+        entry = self.entries.pop(key, None)
+        if entry is not None:
+            self.entries[key] = entry
+        return entry
+
+    def put(self, key: int, value: Tuple[List[BranchEvent], int]) -> None:
+        entries = self.entries
+        if key in entries:
+            entries.pop(key)
+        elif len(entries) >= self.bound:
+            entries.pop(next(iter(entries)))
+        entries[key] = value
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+_SHARED_MEMOS: Dict[Tuple[str, int], _SharedMemo] = {}
+
+
+def _memo_for(dag: PDag, bound: int) -> _SharedMemo:
+    key = (dag.method_name, dag_fingerprint(dag))
+    memo = _SHARED_MEMOS.get(key)
+    if memo is None:
+        if len(_SHARED_MEMOS) >= _REGISTRY_BOUND:
+            _SHARED_MEMOS.pop(next(iter(_SHARED_MEMOS)))
+        memo = _SharedMemo(bound)
+        _SHARED_MEMOS[key] = memo
+    return memo
+
+
+def clear_shared_memos() -> None:
+    """Drop every shared expansion memo (tests; memory pressure)."""
+    _SHARED_MEMOS.clear()
+
+
 class PathResolver:
     """Memoising wrapper around :func:`reconstruct_path` for one method.
 
     Resolves a path number to its *branch events* — the (bytecode branch,
     taken?) pairs along the path — which is what the edge-profile update
     needs, plus the path's length in branches for the flow metric.
+
+    With ``shared=True`` (the default) the memo is the process-wide one
+    for this (method, DAG) shape, so recompiled versions of an unchanged
+    method reuse prior expansion work; ``shared=False`` gives a private
+    memo (tests that assert cold-cache behaviour).  Either way the memo
+    is LRU-bounded to ``bound`` entries.
     """
 
-    __slots__ = ("dag", "_cache")
+    __slots__ = ("dag", "_memo", "_shared")
 
-    def __init__(self, dag: PDag) -> None:
+    def __init__(
+        self,
+        dag: PDag,
+        shared: bool = True,
+        bound: int = DEFAULT_MEMO_BOUND,
+    ) -> None:
         self.dag = dag
-        self._cache: Dict[int, Tuple[List[BranchEvent], int]] = {}
+        self._shared = shared
+        self._memo = _memo_for(dag, bound) if shared else _SharedMemo(bound)
 
     def is_cached(self, path_number: int) -> bool:
-        """True if this path has been resolved before (cache hit)."""
-        return path_number in self._cache
+        """True if this path has been resolved before (memo hit)."""
+        return path_number in self._memo.entries
 
     def branch_events(self, path_number: int, injector=None) -> List[BranchEvent]:
         return self._resolve(path_number, injector)[0]
@@ -101,15 +202,44 @@ class PathResolver:
         return self._resolve(path_number, injector)[1]
 
     def cached_count(self) -> int:
-        return len(self._cache)
+        return len(self._memo)
+
+    def __getstate__(self):
+        # Shared memos are per-process state: a pickled resolver (engine
+        # worker round-trips) reattaches to its process's registry rather
+        # than dragging the memo contents across the wire.
+        return (
+            self.dag,
+            self._shared,
+            self._memo.bound,
+            None if self._shared else self._memo,
+        )
+
+    def __setstate__(self, state) -> None:
+        dag, shared, bound, memo = state
+        self.dag = dag
+        self._shared = shared
+        self._memo = memo if memo is not None else _memo_for(dag, bound)
 
     def _resolve(
         self, path_number: int, injector=None
     ) -> Tuple[List[BranchEvent], int]:
-        # A cached expansion cannot fault — only first-time regeneration
-        # runs the greedy walk (and its injection site).
-        hit = self._cache.get(path_number)
+        memo = self._memo
+        hit = memo.get(path_number)
         if hit is not None:
+            # The memo may be warm from another VM (shared across
+            # compiled versions and runs), but fault injection models
+            # *this run's* first expansion: callers pass an injector
+            # exactly when the expansion is first-time for their VM, so
+            # the site must fire here too or injection behaviour would
+            # depend on process-global cache warmth.
+            if injector is not None and injector.should_fire(
+                "path-reconstruct", self.dag.method_name
+            ):
+                raise PathReconstructionError(
+                    f"{self.dag.method_name}: injected reconstruction fault "
+                    f"(path {path_number})"
+                )
             return hit
         edges = reconstruct_path(self.dag, path_number, injector)
         events: List[BranchEvent] = [
@@ -118,5 +248,5 @@ class PathResolver:
             if edge.origin is not None
         ]
         entry = (events, len(events))
-        self._cache[path_number] = entry
+        memo.put(path_number, entry)
         return entry

@@ -182,11 +182,21 @@ class ArnoldGroveSampler:
             resilience.drop_sample()
             return 0.0
         cost = 0.0
-        first_time = not resolver.is_cached(path_reg)
+        # First-expansion accounting is per-VM (not per-memo): the shared
+        # resolver memo may already be warm from another run or compiled
+        # version, but *this* run still pays the one-time expansion cost —
+        # and still exercises the reconstruction fault site — exactly
+        # once per (method version, path).  Failed expansions are not
+        # marked, so a retried sample pays (and may fault) again, as
+        # before.
+        pkey = (cm.profile_key, path_reg)
+        first_time = pkey not in vm.expanded_paths
         if first_time:
             cost += vm.costs.scaled_handler(vm.costs.handler_expand_first)
         try:
-            events = resolver.branch_events(path_reg, injector=injector)
+            events = resolver.branch_events(
+                path_reg, injector=injector if first_time else None
+            )
         except PathReconstructionError as exc:
             if resilience is None:
                 raise
@@ -194,6 +204,7 @@ class ArnoldGroveSampler:
             # disable its path profiling (edge-only fallback).
             resilience.note_reconstruction_failure(source, exc)
             return cost
+        vm.expanded_paths.add(pkey)
         if resilience is not None:
             resilience.note_reconstruction_success(source)
         if injector is not None and injector.should_fire(

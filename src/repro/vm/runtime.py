@@ -130,6 +130,11 @@ class VirtualMachine:
         self.samples_taken = 0
         self.strides_skipped = 0
         self.path_count_updates = 0
+        # (profile_key, path number) pairs whose expansion this VM has
+        # already paid for.  First-expansion cost accounting is per-VM so
+        # that virtual-cycle charges never depend on how warm the shared
+        # (process-global) PathResolver memo happens to be.
+        self.expanded_paths: set = set()
         self.compile_cycles = 0.0
         self.recompilations = 0
         self._tick_method_sampled = False

@@ -58,10 +58,47 @@ def test_resolver_caches():
     method = diamond_loop_method()
     dag, _ = pep_dag_for(method)
     assign_ball_larus_values(dag)
-    resolver = PathResolver(dag)
+    # shared=False: this test asserts cold-cache behaviour, which the
+    # process-wide shared memo would otherwise make order-dependent.
+    resolver = PathResolver(dag, shared=False)
     assert not resolver.is_cached(0)
     resolver.branch_events(0)
     assert resolver.is_cached(0)
     assert resolver.cached_count() == 1
     resolver.branch_events(0)
     assert resolver.cached_count() == 1
+
+
+def test_resolvers_share_memo_across_instances():
+    method = diamond_loop_method()
+    dag, _ = pep_dag_for(method)
+    assign_ball_larus_values(dag)
+    from repro.profiling.regenerate import clear_shared_memos
+
+    clear_shared_memos()
+    first = PathResolver(dag)
+    first.branch_events(0)
+    # A second resolver over the same DAG shape (adaptive recompilation)
+    # sees the warm memo instead of starting cold.
+    second = PathResolver(dag)
+    assert second.is_cached(0)
+    assert second.branch_events(0) == first.branch_events(0)
+    clear_shared_memos()
+
+
+def test_resolver_memo_lru_bound():
+    method = diamond_loop_method()
+    dag, _ = pep_dag_for(method)
+    n = assign_ball_larus_values(dag)
+    assert n >= 3
+    resolver = PathResolver(dag, shared=False, bound=2)
+    for i in range(3):
+        resolver.branch_events(i)
+    assert resolver.cached_count() == 2
+    assert not resolver.is_cached(0)  # oldest evicted
+    assert resolver.is_cached(1) and resolver.is_cached(2)
+    # Touching an entry refreshes its recency.
+    resolver.branch_events(1)
+    resolver.branch_events(0)
+    assert not resolver.is_cached(2)
+    assert resolver.is_cached(1) and resolver.is_cached(0)
