@@ -1,12 +1,15 @@
 #!/usr/bin/env python
 """Performance trajectory recorder: writes ``BENCH_perf.json``.
 
-Times the hot layers the perf PR touched — interpreter dispatch (fused
-vs unfused superinstructions), lowering with and without the compilation
-cache, path reconstruction with cold vs warm memos, and a small fig6
-sweep through the experiment engine serial vs parallel — and records
-them, normalized by a pure-Python calibration loop so numbers are
-comparable across machines.
+Times the hot layers the perf PRs touched — guest execution under the
+blockjit engine and the tuple interpreter (fused vs unfused
+superinstructions), the yieldpoint/sampling-check overhead, lowering
+with and without the compilation cache, path reconstruction with cold vs
+warm memos, and a small fig6 sweep through the experiment engine serial
+vs parallel — and records them, normalized by a pure-Python calibration
+loop so numbers are comparable across machines.  Every run also appends
+one summary line (git SHA + headline metrics) to ``BENCH_history.jsonl``
+so the perf trend is trackable across PRs.
 
 Usage::
 
@@ -15,8 +18,11 @@ Usage::
     python scripts/bench_perf.py --quick --check BENCH_perf.json
                                                  # regression gate
 
-``--check BASELINE`` compares the calibration-normalized interpreter
-rate against the baseline file and exits non-zero on a >25% regression.
+``--check BASELINE`` compares the calibration-normalized execution rate
+against the baseline file and exits non-zero on a >25% regression; it
+also enforces the parallel-sweep speedup floor, but only on multi-core
+runners — on ``cpu_count == 1`` machines ``parallel_speedup ≈ 1.0`` is
+the *expected* outcome and the gate is skipped rather than flaking.
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ import argparse
 import json
 import os
 import platform
+import subprocess
 import sys
 import time
 
@@ -33,8 +40,12 @@ _SRC = os.path.join(_ROOT, "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
-SCHEMA = 1
+SCHEMA = 2
 REGRESSION_TOLERANCE = 0.25  # fail --check on >25% normalized slowdown
+# Minimum acceptable serial/parallel speedup when the runner actually
+# has cores to parallelize over (generous: contention on loaded CI
+# runners is normal; outright slower-than-serial is the regression).
+PARALLEL_SPEEDUP_FLOOR = 0.8
 
 
 # -- calibration ------------------------------------------------------------
@@ -82,35 +93,143 @@ def bench_interpreter(quick: bool) -> dict:
 
     # compress is the tight-loop workload; ps has the branchiest CFG
     # (the largest fraction of fused T_BRCMP terminators), so together
-    # they bracket how much dispatch fusion can matter.
+    # they bracket how much dispatch cost matters.  Three variants run
+    # on the same workloads: the blockjit engine (the default, timed on
+    # the unfused image — fusion is a tuple-dispatch optimization and
+    # blockjit has no dispatch to fuse), and the tuple interpreter with
+    # and without superinstruction fusion.
     names = ["compress", "ps"]
     scale = 1.0 if quick else 3.0
     reps = 3 if quick else 8
     costs = CostModel()
     programs = [get_workload(name).build(scale) for name in names]
+    variants = [
+        ("blockjit", False, True),
+        ("fused", True, False),
+        ("unfused", False, False),
+    ]
     rates = {}
-    for fuse in (True, False):
+    totals = {}
+    for label, fuse, use_blockjit in variants:
         images = [
             (program, _lower_image(program, costs, fuse))
             for program in programs
         ]
-        for program, code in images:  # warmup
-            VirtualMachine(code, program.main, costs=costs).run()
+        warm = 0.0
+        for program, code in images:  # warmup (and parity probe)
+            vm = VirtualMachine(
+                code, program.main, costs=costs, blockjit=use_blockjit
+            )
+            warm += vm.run().cycles
+        totals[label] = warm
         cycles = 0.0
         t0 = time.perf_counter()
         for _ in range(reps):
             for program, code in images:
-                vm = VirtualMachine(code, program.main, costs=costs)
+                vm = VirtualMachine(
+                    code, program.main, costs=costs, blockjit=use_blockjit
+                )
                 cycles += vm.run().cycles
         wall = time.perf_counter() - t0
-        rates["fused" if fuse else "unfused"] = cycles / wall
+        rates[label] = cycles / wall
+    # Bit-identity safety net: every engine/encoding must account the
+    # exact same virtual cycles, else the timings compare different work.
+    if len(set(totals.values())) != 1:
+        raise AssertionError(f"engine cycle totals diverged: {totals}")
     return {
         "workloads": names,
         "scale": scale,
         "reps": reps,
+        # Primary throughput metric: the default engine (blockjit).
+        "vcycles_per_sec": rates["blockjit"],
+        "blockjit_vcycles_per_sec": rates["blockjit"],
         "fused_vcycles_per_sec": rates["fused"],
         "unfused_vcycles_per_sec": rates["unfused"],
         "fusion_speedup": rates["fused"] / rates["unfused"],
+        "blockjit_speedup": rates["blockjit"] / rates["unfused"],
+        "fusion_note": (
+            "fusion_speedup is noise-bound around 1.0x on CPython 3.11 "
+            "(0.99x in the schema-1 baseline): the fused bodies' wider "
+            "decode ladder costs about what the saved dispatch earns, so "
+            "FUSE_SUPERINSTRUCTIONS now defaults off (opt in via "
+            "REPRO_FUSE=1 or fuse=True).  The blockjit engine compiles "
+            "dispatch away entirely, which is the real fix."
+        ),
+    }
+
+
+# -- yieldpoint / sampling-check overhead ------------------------------------
+
+
+def bench_sampling(quick: bool) -> dict:
+    """Isolate the cost of armed yieldpoints: same image, sampler on/off.
+
+    Yieldpoint *sites* are present in both runs (they are part of the
+    lowered image and cost virtual cycles either way); what differs is
+    the tick clock being armed, so the delta is the wall-clock price of
+    the sampling checks plus sample-taking itself.
+    """
+    from repro.instrument.pep import apply_pep
+    from repro.instrument.yieldpoints import insert_yieldpoints
+    from repro.sampling.arnold_grove import make_sampler
+    from repro.vm.costs import CostModel
+    from repro.vm.interpreter import lower_method
+    from repro.vm.runtime import VirtualMachine
+    from repro.workloads.suite import get_workload
+
+    scale = 1.0 if quick else 2.0
+    reps = 3 if quick else 6
+    program = get_workload("compress").build(scale)
+    costs = CostModel()
+    code = {}
+    for method in program.iter_methods():
+        clone = method.clone()
+        insert_yieldpoints(clone)
+        inst = apply_pep(clone, None)
+        cm = lower_method(clone, "opt2", costs)
+        if inst is not None:
+            cm.attach_dag(inst.dag)
+        code[method.name] = cm
+
+    base_cycles = VirtualMachine(code, program.main, costs=costs).run().cycles
+    tick = base_cycles / 200.0  # ~200 ticks per run
+
+    results = {}
+    for label in ("unsampled", "sampled"):
+        sampled = label == "sampled"
+
+        def make_vm():
+            return VirtualMachine(
+                code,
+                program.main,
+                costs=costs,
+                tick_interval=tick if sampled else None,
+                sampler=make_sampler(64, 17) if sampled else None,
+            )
+
+        make_vm().run()  # warmup
+        ticks = 0
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            res = make_vm().run()
+            ticks += res.ticks
+        wall = time.perf_counter() - t0
+        results[label] = {
+            "vcycles_per_sec": reps * base_cycles / wall,
+            "wall": wall,
+            "ticks": ticks,
+        }
+    return {
+        "workload": "compress",
+        "scale": scale,
+        "reps": reps,
+        "tick_interval": tick,
+        "sampled_ticks": results["sampled"]["ticks"],
+        "sampled_vcycles_per_sec": results["sampled"]["vcycles_per_sec"],
+        "unsampled_vcycles_per_sec": results["unsampled"]["vcycles_per_sec"],
+        "sampling_wall_overhead": (
+            results["sampled"]["wall"] / results["unsampled"]["wall"]
+        ),
     }
 
 
@@ -266,10 +385,59 @@ def bench_sweep(quick: bool, jobs: int) -> dict:
 
 
 def normalized_interp_rate(report: dict) -> float:
-    return (
-        report["metrics"]["interpreter"]["fused_vcycles_per_sec"]
-        / report["calibration"]["pyops_per_sec"]
-    )
+    interp = report["metrics"]["interpreter"]
+    # Schema 2 reports the default engine's rate as ``vcycles_per_sec``;
+    # schema 1 baselines only have the fused tuple-interpreter rate.
+    rate = interp.get("vcycles_per_sec", interp.get("fused_vcycles_per_sec"))
+    return rate / report["calibration"]["pyops_per_sec"]
+
+
+def git_sha() -> "str | None":
+    try:
+        proc = subprocess.run(
+            ["git", "-C", _ROOT, "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout.strip() or None
+
+
+def append_history(report: dict, path: str) -> None:
+    """Append one summary line per run to the perf-trajectory log.
+
+    The log is append-only JSONL: each line carries the git SHA plus the
+    headline metrics, so ``BENCH_history.jsonl`` reads as the repo's
+    performance trend over commits without diffing full reports.
+    """
+    metrics = report["metrics"]
+    interp = metrics.get("interpreter", {})
+    sweep = metrics.get("sweep", {})
+    sampling = metrics.get("sampling", {})
+    line = {
+        "schema": report["schema"],
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "git_sha": git_sha(),
+        "quick": report["quick"],
+        "python": report["python"],
+        "cpu_count": report["cpu_count"],
+        "pyops_per_sec": report["calibration"]["pyops_per_sec"],
+        "normalized_interp_rate": report.get("normalized_interp_rate"),
+        "vcycles_per_sec": interp.get("vcycles_per_sec"),
+        "blockjit_speedup": interp.get("blockjit_speedup"),
+        "fusion_speedup": interp.get("fusion_speedup"),
+        "sampling_wall_overhead": sampling.get("sampling_wall_overhead"),
+        "cache_speedup": metrics.get("lowering", {}).get("cache_speedup"),
+        "memo_speedup": metrics.get("reconstruction", {}).get("memo_speedup"),
+        "parallel_speedup": sweep.get("parallel_speedup"),
+        "digests_match": sweep.get("digests_match"),
+    }
+    with open(path, "a") as fh:
+        fh.write(json.dumps(line, sort_keys=True) + "\n")
 
 
 def check_regression(report: dict, baseline_path: str) -> int:
@@ -313,6 +481,13 @@ def main(argv=None) -> int:
         help="compare against a baseline BENCH_perf.json; exit 1 on a "
         f">{REGRESSION_TOLERANCE:.0%} normalized interpreter regression",
     )
+    parser.add_argument(
+        "--history",
+        metavar="PATH",
+        default=os.path.join(_ROOT, "BENCH_history.jsonl"),
+        help="append-only JSONL perf trajectory (default: "
+        "BENCH_history.jsonl at the repo root; pass '' to disable)",
+    )
     args = parser.parse_args(argv)
 
     report = {
@@ -326,6 +501,7 @@ def main(argv=None) -> int:
     }
     stages = [
         ("interpreter", lambda: bench_interpreter(args.quick)),
+        ("sampling", lambda: bench_sampling(args.quick)),
         ("lowering", lambda: bench_lowering(args.quick)),
         ("reconstruction", lambda: bench_reconstruction(args.quick)),
         ("sweep", lambda: bench_sweep(args.quick, args.jobs)),
@@ -343,21 +519,53 @@ def main(argv=None) -> int:
         json.dump(report, fh, indent=2, sort_keys=True)
         fh.write("\n")
     print(f"bench_perf: wrote {args.out}")
+    if args.history:
+        append_history(report, args.history)
+        print(f"bench_perf: appended history line to {args.history}")
 
     interp = report["metrics"]["interpreter"]
+    sampling = report["metrics"]["sampling"]
     sweep = report["metrics"]["sweep"]
+    cpu_count = report["cpu_count"] or 1
     print(
-        f"bench_perf: fusion speedup {interp['fusion_speedup']:.2f}x, "
-        f"parallel speedup {sweep['parallel_speedup']:.2f}x "
-        f"({sweep['jobs']} jobs on {report['cpu_count']} cores), "
-        f"digests_match={sweep['digests_match']}"
+        f"bench_perf: blockjit speedup {interp['blockjit_speedup']:.2f}x "
+        f"over the tuple interpreter, fusion speedup "
+        f"{interp['fusion_speedup']:.2f}x, sampling wall overhead "
+        f"{sampling['sampling_wall_overhead']:.2f}x, parallel speedup "
+        f"{sweep['parallel_speedup']:.2f}x ({sweep['jobs']} jobs on "
+        f"{cpu_count} cores), digests_match={sweep['digests_match']}"
     )
     if not sweep["digests_match"]:
         print("bench_perf: FATAL parallel results diverged from serial")
         return 1
+    rc = 0
     if args.check:
-        return check_regression(report, args.check)
-    return 0
+        rc = check_regression(report, args.check)
+        # The parallel-speedup floor only means something when the
+        # runner can actually run workers concurrently; on a single
+        # core, parallel ≈ serial (plus pool overhead) is the expected
+        # outcome, so the gate is skipped instead of flaking.
+        if cpu_count > 1 and sweep["jobs"] > 1:
+            if sweep["parallel_speedup"] < PARALLEL_SPEEDUP_FLOOR:
+                print(
+                    f"bench_perf check: parallel speedup "
+                    f"{sweep['parallel_speedup']:.2f}x below floor "
+                    f"{PARALLEL_SPEEDUP_FLOOR:.2f}x -> REGRESSION"
+                )
+                rc = rc or 1
+            else:
+                print(
+                    f"bench_perf check: parallel speedup "
+                    f"{sweep['parallel_speedup']:.2f}x >= floor "
+                    f"{PARALLEL_SPEEDUP_FLOOR:.2f}x -> OK"
+                )
+        else:
+            print(
+                "bench_perf check: parallel speedup gate skipped "
+                f"(cpu_count={cpu_count}, jobs={sweep['jobs']}; "
+                "needs a multi-core runner to be meaningful)"
+            )
+    return rc
 
 
 if __name__ == "__main__":

@@ -29,7 +29,7 @@ from repro.adaptive.passes import (
 )
 from repro.profiling.edges import EdgeProfile
 from repro.vm.costs import CostModel
-from repro.vm.interpreter import CompiledMethod, lower_method
+from repro.vm.interpreter import CompiledMethod, lower_method, resolve_fuse
 
 # Profiling instrumentation the optimizing compiler can attach:
 #   None          - plain optimized code (the paper's Base)
@@ -93,12 +93,16 @@ def optimize_method(
     # Fault-injected compiles bypass the cache in both directions.
     from repro.vm import codecache
 
+    # Resolved fusion setting goes into both the cache key and the
+    # lowering call: the default is environment-dependent (REPRO_FUSE),
+    # and a persistent key must never conflate fused/unfused artefacts.
+    fuse = resolve_fuse()
     cache = codecache.active_cache() if injector is None else None
     key: Optional[tuple] = None
     if cache is not None:
         key = codecache.optimize_key(
             method, program, level, instrumentation, unroll, version,
-            costs, edge_profile,
+            costs, edge_profile, fuse=fuse,
         )
         hit = cache.get(key)
         if hit is not None:
@@ -136,7 +140,7 @@ def optimize_method(
         apply_edge_instrumentation(clone)
 
     tier = f"opt{level}"
-    cm = lower_method(clone, tier, costs, version=version)
+    cm = lower_method(clone, tier, costs, version=version, fuse=fuse)
     if inst is not None:
         cm.attach_dag(inst.dag)
 

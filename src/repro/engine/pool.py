@@ -38,7 +38,15 @@ _MIN_SHARD_TIMEOUT = 5.0
 
 
 def _init_worker(codecache_path: Optional[str]) -> None:
-    """Worker initializer: optionally pre-warm the compilation cache."""
+    """Worker initializer: optionally pre-warm the compilation cache.
+
+    Loaded CompiledMethods arrive with their blockjit-generated source
+    (``jit_source``) but without compiled closures — those are
+    per-process and rebuilt lazily on first execution (see
+    :func:`repro.vm.blockjit.ensure_jit`), so workers skip codegen but
+    still ``exec`` locally.  The same applies to the cache entries
+    workers ship back to the parent in ``_run_shard_remote``.
+    """
     if codecache_path and os.path.exists(codecache_path):
         from repro.vm import codecache
 

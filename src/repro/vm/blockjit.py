@@ -1,0 +1,650 @@
+"""Template-compiled block bodies: exec-specialized block execution.
+
+The tuple interpreter in :mod:`repro.vm.interpreter` pays a dispatch
+ladder (tuple index + if/elif chain) per guest op.  This module removes
+it by *generating Python source* for every :class:`LoweredBlock`:
+operands are constant-folded into the text, registers become function
+locals, trap guards are inlined with their exact messages and locations,
+and PEP path-register adds / yieldpoint checks are baked in at their
+exact positions.  The source is ``compile()``/``exec()``-ed once per
+method and the run loop becomes block-level dispatch: call the block
+closure, follow the returned successor closure.
+
+Bit-identity contract
+---------------------
+Generated code must be *bit-identical* to the interpreter in every
+observable: virtual cycles (float adds are emitted per-op, in the same
+order, on a local accumulator — never pre-summed, because float addition
+is non-associative and per-op costs are non-dyadic at the opt0/opt1 tier
+multipliers), path/edge profiles, emitted output, trap messages and
+locations, fuel accounting (charged per block (re)entry, exactly as the
+interpreter does), and fault-injection behavior (yieldpoints call the
+same ``vm.dispatch_yieldpoint``, so every ``repro.resilience`` site
+fires unchanged).  ``tests/test_blockjit.py`` proves this across all
+bundled workloads.
+
+Segments
+--------
+A block is split at ``OP_CALL`` boundaries into *segments*: one
+generated function per (block, entry-ip) pair, named ``_f{bi}_{ip}``.
+The interpreter re-charges fuel (``n - ip + 1``) every time control
+(re)enters a block — including resumption after a callee returns — so a
+per-segment fuel prologue reproduces its accounting exactly.  A segment
+exits by returning the successor segment's closure (jump/branch), the
+``_CALL`` sentinel (guest call pushed; the driver switches frames), or
+``None`` (guest return; value in ``JitState.ret_value``).
+
+Caching
+-------
+Generated source is attached to the :class:`CompiledMethod`
+(``jit_source``) and rides along when the content-addressed
+:mod:`repro.vm.codecache` persists compiled methods, so warm runs (and
+engine-pool workers, which receive methods by pickle) skip codegen and
+only re-``exec``.  Compiled code objects are additionally memoised
+process-wide keyed by the source text itself.
+
+Kill switch: ``REPRO_BLOCKJIT=0`` falls back to the tuple interpreter.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import FuelExhaustedError, VMError
+from repro.vm.interpreter import (
+    OP_ALEN,
+    OP_ALOAD,
+    OP_ASTORE,
+    OP_BIN,
+    OP_BINI,
+    OP_CALL,
+    OP_CONST,
+    OP_CONSTBIN,
+    OP_EMIT,
+    OP_MOVE,
+    OP_NEG,
+    OP_NEWARR,
+    OP_NOT,
+    OP_PATHCOUNT,
+    OP_PEPADD,
+    OP_PEPINIT,
+    OP_YIELD,
+    T_BR,
+    T_BRCMP,
+    T_JMP,
+    T_RET,
+    _MAX_ARRAY,
+    CompiledMethod,
+    Frame,
+    LoweredBlock,
+    _trap,
+)
+
+ENV_DISABLE = "REPRO_BLOCKJIT"
+
+#: Sentinel a segment returns after pushing a callee frame; the driver
+#: switches to the new frame's entry segment.
+_CALL = object()
+
+# Process-wide memo of compiled code objects, keyed by the generated
+# source text itself (true content addressing: identical lowered bodies
+# produce identical source).  Bounded crudely — codegen is cheap relative
+# to a run, so an occasional flush only costs a recompile.
+_CODE_OBJECTS: Dict[str, object] = {}
+_CODE_OBJECTS_BOUND = 4096
+
+
+def blockjit_enabled() -> bool:
+    """True unless ``REPRO_BLOCKJIT`` disables the block engine."""
+    flag = os.environ.get(ENV_DISABLE, "1").strip().lower()
+    return flag not in ("0", "off", "no", "false")
+
+
+# -- codegen ----------------------------------------------------------------
+
+_CMP_TEXT = {12: "<", 13: "<=", 14: ">", 15: ">=", 16: "=="}
+_BIN_TEXT = {
+    0: "+",
+    1: "-",
+    2: "*",
+    3: "//",
+    4: "%",
+    5: "&",
+    6: "|",
+    7: "^",
+    8: "<<",
+    9: ">>",
+}
+
+
+def _cmp_text(kind: int) -> str:
+    # The interpreter's comparison ladders treat any non-12..16 code as
+    # "!=" in their else arm; mirror that exactly.
+    return _CMP_TEXT.get(kind, "!=")
+
+
+def _bin_expr(kind: int, a: str, b: str) -> str:
+    sym = _BIN_TEXT.get(kind)
+    if sym is not None:
+        return f"{a} {sym} {b}"
+    if kind == 10:
+        return f"({a} if {a} < {b} else {b})"
+    if kind == 11:
+        return f"({a} if {a} > {b} else {b})"
+    if 12 <= kind <= 17:
+        return f"(1 if {a} {_cmp_text(kind)} {b} else 0)"
+    raise VMError(f"unknown binop code {kind}")  # pragma: no cover
+
+
+def _entry_ips(block: LoweredBlock) -> List[int]:
+    """Segment entry points: block start plus every call-resume ip."""
+    ips = [0]
+    for j, op in enumerate(block.ops):
+        if op[0] == OP_CALL:
+            ips.append(j + 1)
+    return ips
+
+
+def _edge_origins(cm: CompiledMethod) -> List[object]:
+    """Edge-instrumentation origin objects, in deterministic block order.
+
+    Codegen names them positionally (``_og0``, ``_og1``, ...); this
+    traversal must match the one in :func:`generate_source` so a
+    namespace built for *persisted* source still binds the right
+    objects.
+    """
+    origins: List[object] = []
+    for block in cm.blocks.values():
+        term = block.term
+        t = term[0]
+        if t == T_BR and term[10]:
+            origins.append(term[9])
+        elif t == T_BRCMP and term[15]:
+            origins.append(term[14])
+    return origins
+
+
+class _Segment:
+    """Accumulates one generated function: loads, body, dirty registers."""
+
+    def __init__(self) -> None:
+        self.body: List[str] = []
+        self.loads: List[int] = []  # first-use order, unique
+        self._bound: set = set()  # registers with a live local
+        self.dirty: set = set()  # locals that must be flushed on exit
+
+    def rd(self, reg: int) -> str:
+        if reg not in self._bound:
+            self._bound.add(reg)
+            self.loads.append(reg)
+        return f"r{reg}"
+
+    def wr(self, reg: int) -> str:
+        self._bound.add(reg)
+        self.dirty.add(reg)
+        return f"r{reg}"
+
+    def emit(self, line: str, depth: int = 1) -> None:
+        self.body.append("    " * depth + line)
+
+    def cost(self, amount: float, depth: int = 1) -> None:
+        # Zero adds are skipped: x + 0.0 == x bitwise for the
+        # non-negative accumulator values that occur here.
+        if amount != 0.0:
+            self.emit(f"_cyc += {amount!r}", depth)
+
+    def writebacks(self, depth: int = 1) -> None:
+        for reg in sorted(self.dirty):
+            self.emit(f"regs[{reg}] = r{reg}", depth)
+
+
+class _MethodCodegen:
+    def __init__(self, cm: CompiledMethod) -> None:
+        self.cm = cm
+        self.blocks = list(cm.blocks.values())
+        self.block_index = {block.label: bi for bi, block in enumerate(self.blocks)}
+        self._origin_counter = 0
+        self.functions: List[str] = []
+
+    # -- top level ----------------------------------------------------------
+
+    def generate(self) -> str:
+        for bi, block in enumerate(self.blocks):
+            for ip in _entry_ips(block):
+                self.functions.append(self._gen_segment(bi, block, ip))
+        header = (
+            "# Generated by repro.vm.blockjit — one function per "
+            "(block, entry-ip) segment.\n"
+            "# Injected globals: _pk, _cm, _Frame, _trap, _Fuel, _CALL, "
+            "_blk*, _og*.\n"
+        )
+        return header + "\n".join(self.functions)
+
+    # -- segments -----------------------------------------------------------
+
+    def _gen_segment(self, bi: int, block: LoweredBlock, ip: int) -> str:
+        ops = block.ops
+        n = len(ops)
+        seg = _Segment()
+        j = ip
+        ended = False
+        while j < n:
+            op = ops[j]
+            if op[0] == OP_CALL:
+                self._gen_call(seg, bi, block, j, op)
+                ended = True
+                break
+            self._gen_op(seg, block.label, j, op)
+            j += 1
+        if not ended:
+            self._gen_term(seg, block)
+        label = block.label
+        lines = [f"def _f{bi}_{ip}(vm, frame, regs, st):"]
+        # Fuel is charged on every block (re)entry, exactly like the
+        # interpreter's `fuel -= n - ip + 1` at loop top.
+        lines.append(f"    _fuel = st.fuel - {n - ip + 1}")
+        lines.append("    st.fuel = _fuel")
+        lines.append("    if _fuel < 0:")
+        lines.append("        vm.cycles += st.cyc")
+        lines.append(
+            "        raise _Fuel('instruction budget exhausted', method=_pk, "
+            f"block={label!r}, instruction_index={ip}, cycles=vm.cycles)"
+        )
+        lines.append("    _cyc = st.cyc")
+        for reg in seg.loads:
+            lines.append(f"    r{reg} = regs[{reg}]")
+        lines.extend(seg.body)
+        return "\n".join(lines) + "\n"
+
+    # -- ops ----------------------------------------------------------------
+
+    def _gen_op(self, seg: _Segment, label: str, j: int, op: tuple) -> None:
+        c = op[0]
+        seg.cost(op[1])
+        if c == OP_CONST:
+            seg.emit(f"{seg.wr(op[2])} = {op[3]!r}")
+        elif c == OP_MOVE:
+            src = seg.rd(op[3])
+            seg.emit(f"{seg.wr(op[2])} = {src}")
+        elif c == OP_BINI:
+            a = seg.rd(op[4])
+            self._guards_imm(seg, op[2], op[5], label, j)
+            seg.emit(f"{seg.wr(op[3])} = {_bin_expr(op[2], a, repr(op[5]))}")
+        elif c == OP_BIN:
+            a = seg.rd(op[4])
+            b = seg.rd(op[5])
+            self._guards_reg(seg, op[2], b, label, j)
+            seg.emit(f"{seg.wr(op[3])} = {_bin_expr(op[2], a, b)}")
+        elif c == OP_CONSTBIN:
+            # Const write first (its register may alias the other
+            # operand or the destination), exactly as unfused.
+            cv = op[4]
+            seg.emit(f"{seg.wr(op[3])} = {cv!r}")
+            other = seg.rd(op[6])
+            if op[7]:  # const on the left; runtime guard on the right
+                self._guards_reg(seg, op[2], other, label, j)
+                expr = _bin_expr(op[2], repr(cv), other)
+            else:
+                self._guards_imm(seg, op[2], cv, label, j)
+                expr = _bin_expr(op[2], other, repr(cv))
+            seg.emit(f"{seg.wr(op[5])} = {expr}")
+        elif c == OP_NEG:
+            src = seg.rd(op[3])
+            seg.emit(f"{seg.wr(op[2])} = -{src}")
+        elif c == OP_NOT:
+            src = seg.rd(op[3])
+            seg.emit(f"{seg.wr(op[2])} = 0 if {src} else 1")
+        elif c == OP_NEWARR:
+            size = seg.rd(op[3])
+            seg.emit(f"if {size} < 0 or {size} > {_MAX_ARRAY}:")
+            seg.emit(
+                f'_trap(vm, _cyc, _cm, f"bad array size {{{size}}}", '
+                f"{label!r}, {j})",
+                2,
+            )
+            seg.emit(f"{seg.wr(op[2])} = [0] * {size}")
+        elif c == OP_ALOAD:
+            arr = seg.rd(op[3])
+            idx = seg.rd(op[4])
+            seg.emit(f"if type({arr}) is not list:")
+            seg.emit(
+                f"_trap(vm, _cyc, _cm, 'aload from a non-array value', "
+                f"{label!r}, {j})",
+                2,
+            )
+            seg.emit(f"if {idx} < 0 or {idx} >= len({arr}):")
+            seg.emit(
+                f'_trap(vm, _cyc, _cm, f"array index {{{idx}}} out of range", '
+                f"{label!r}, {j})",
+                2,
+            )
+            seg.emit(f"{seg.wr(op[2])} = {arr}[{idx}]")
+        elif c == OP_ASTORE:
+            arr = seg.rd(op[2])
+            idx = seg.rd(op[3])
+            src = seg.rd(op[4])
+            seg.emit(f"if type({arr}) is not list:")
+            seg.emit(
+                f"_trap(vm, _cyc, _cm, 'astore to a non-array value', "
+                f"{label!r}, {j})",
+                2,
+            )
+            seg.emit(f"if {idx} < 0 or {idx} >= len({arr}):")
+            seg.emit(
+                f'_trap(vm, _cyc, _cm, f"array index {{{idx}}} out of range", '
+                f"{label!r}, {j})",
+                2,
+            )
+            seg.emit(f"{arr}[{idx}] = {src}")
+        elif c == OP_ALEN:
+            arr = seg.rd(op[3])
+            seg.emit(f"if type({arr}) is not list:")
+            seg.emit(
+                f"_trap(vm, _cyc, _cm, 'alen of a non-array value', "
+                f"{label!r}, {j})",
+                2,
+            )
+            seg.emit(f"{seg.wr(op[2])} = len({arr})")
+        elif c == OP_EMIT:
+            src = seg.rd(op[2])
+            seg.emit(f"vm.output.append({src})")
+        elif c == OP_PEPADD:
+            seg.emit(f"st.path_reg += {op[2]!r}")
+        elif c == OP_PEPINIT:
+            seg.emit("st.path_reg = 0")
+        elif c == OP_PATHCOUNT:
+            seg.emit("vm.path_profile.record(_pk, st.path_reg)")
+            seg.emit("vm.path_count_updates += 1")
+        elif c == OP_YIELD:
+            # Identical flush/tick/flag sequence to the interpreter; the
+            # handler call is what lets samplers, the adaptive system,
+            # and resilience fault sites fire unchanged under blockjit.
+            seg.emit("vm.cycles += _cyc")
+            seg.emit("_cyc = 0.0")
+            seg.emit("if vm.cycles >= vm.next_tick:")
+            seg.emit("vm.on_tick()", 2)
+            seg.emit("if vm.flag:")
+            seg.emit(
+                f"_cyc += vm.dispatch_yieldpoint(_cm, st.path_reg, {op[2]!r})", 2
+            )
+        else:  # pragma: no cover - lowering emits only known codes
+            raise VMError(f"blockjit cannot compile opcode {c}")
+
+    def _guards_reg(
+        self, seg: _Segment, kind: int, b: str, label: str, j: int
+    ) -> None:
+        if kind == 3 or kind == 4:
+            msg = "division by zero" if kind == 3 else "modulo by zero"
+            seg.emit(f"if {b} == 0:")
+            seg.emit(f"_trap(vm, _cyc, _cm, {msg!r}, {label!r}, {j})", 2)
+        elif kind == 8 or kind == 9:
+            seg.emit(f"if {b} < 0 or {b} > 63:")
+            seg.emit(
+                f'_trap(vm, _cyc, _cm, f"bad shift amount {{{b}}}", '
+                f"{label!r}, {j})",
+                2,
+            )
+
+    def _guards_imm(
+        self, seg: _Segment, kind: int, imm, label: str, j: int
+    ) -> None:
+        # Guards on a constant operand fold away entirely — or into an
+        # unconditional trap with the exact interpreter message.
+        if (kind == 3 or kind == 4) and imm == 0:
+            msg = "division by zero" if kind == 3 else "modulo by zero"
+            seg.emit(f"_trap(vm, _cyc, _cm, {msg!r}, {label!r}, {j})")
+        elif (kind == 8 or kind == 9) and (imm < 0 or imm > 63):
+            seg.emit(
+                f"_trap(vm, _cyc, _cm, {f'bad shift amount {imm}'!r}, "
+                f"{label!r}, {j})"
+            )
+
+    # -- calls and terminators ----------------------------------------------
+
+    def _gen_call(
+        self, seg: _Segment, bi: int, block: LoweredBlock, j: int, op: tuple
+    ) -> None:
+        seg.cost(op[1])
+        name = op[3]
+        seg.emit(f"_c = vm.code.get({name!r})")
+        seg.emit("if _c is None:")
+        seg.emit(
+            f"_trap(vm, _cyc, _cm, {f'call to unknown method {name!r}'!r}, "
+            f"{block.label!r}, {j})",
+            2,
+        )
+        seg.emit(f"frame.block = _blk{bi}")
+        seg.emit(f"frame.ip = {j + 1}")
+        seg.emit("frame.path_reg = st.path_reg")
+        seg.emit("_nf = _Frame(_c)")
+        if op[4]:
+            seg.emit("_nr = _nf.regs")
+            for pos, src in enumerate(op[4]):
+                arg = seg.rd(src)
+                seg.emit(f"_nr[{pos}] = {arg}")
+        if op[2] is not None:
+            seg.emit(f"_nf.ret_dst = {op[2]}")
+        seg.emit("_stk = vm.guest_stack")
+        seg.emit("_stk.append(_nf)")
+        seg.emit("if len(_stk) > vm.max_stack_depth:")
+        seg.emit(
+            f"_trap(vm, _cyc, _cm, 'guest stack overflow', "
+            f"{block.label!r}, {j})",
+            2,
+        )
+        seg.writebacks()
+        seg.emit("st.cyc = _cyc")
+        seg.emit("return _CALL")
+
+    def _succ_name(self, succ: LoweredBlock) -> str:
+        return f"_f{self.block_index[succ.label]}_0"
+
+    def _gen_term(self, seg: _Segment, block: LoweredBlock) -> None:
+        term = block.term
+        t = term[0]
+        seg.cost(term[1])
+        if t == T_RET:
+            value = seg.rd(term[2]) if term[2] is not None else "0"
+            # No register write-backs: the frame is dead.
+            seg.emit("st.cyc = _cyc")
+            seg.emit(f"st.ret_value = {value}")
+            seg.emit("return None")
+        elif t == T_JMP:
+            seg.writebacks()
+            seg.emit("st.cyc = _cyc")
+            seg.emit(f"return {self._succ_name(term[2])}")
+        elif t == T_BR:
+            a = seg.rd(term[3])
+            b = seg.rd(term[4])
+            origin = self._origin_name(term[10])
+            seg.emit(f"if {a} {_cmp_text(term[2])} {b}:")
+            self._gen_arm(seg, True, term[7], term[8], origin, term[11], term[5])
+            seg.emit("else:")
+            self._gen_arm(seg, False, term[7], term[8], origin, term[11], term[6])
+        elif t == T_BRCMP:
+            k = term[2]
+            if k < 0:
+                # const->br form: the branch reads an already-live
+                # register (read happens before the const write in the
+                # unfused order; fusion guarantees the registers differ).
+                tvar = seg.rd(term[3])
+            else:
+                a = seg.rd(term[4])
+                b = repr(term[5]) if term[6] else seg.rd(term[5])
+                seg.emit(
+                    f"{seg.wr(term[3])} = 1 if {a} {_cmp_text(k)} {b} else 0"
+                )
+                tvar = f"r{term[3]}"
+            seg.emit(f"{seg.wr(term[7])} = {term[8]!r}")
+            origin = self._origin_name(term[15])
+            seg.emit(f"if {tvar} {_cmp_text(term[9])} {term[8]!r}:")
+            self._gen_arm(
+                seg, True, term[12], term[13], origin, term[16], term[10]
+            )
+            seg.emit("else:")
+            self._gen_arm(
+                seg, False, term[12], term[13], origin, term[16], term[11]
+            )
+        else:  # pragma: no cover - lowering emits only known terminators
+            raise VMError(f"blockjit cannot compile terminator {t}")
+
+    def _origin_name(self, counted: bool) -> Optional[str]:
+        if not counted:
+            return None
+        name = f"_og{self._origin_counter}"
+        self._origin_counter += 1
+        return name
+
+    def _gen_arm(
+        self,
+        seg: _Segment,
+        taken: bool,
+        layout_then: bool,
+        penalty: float,
+        origin: Optional[str],
+        edge_cost: float,
+        succ: LoweredBlock,
+    ) -> None:
+        if taken != layout_then:
+            seg.cost(penalty, 2)
+        if origin is not None:
+            seg.emit(f"vm.edge_profile.record({origin}, {taken})", 2)
+            seg.cost(edge_cost, 2)
+        seg.writebacks(2)
+        seg.emit("st.cyc = _cyc", 2)
+        seg.emit(f"return {self._succ_name(succ)}", 2)
+
+
+def generate_source(cm: CompiledMethod) -> str:
+    """Generate the method's blockjit source (pure function of its blocks)."""
+    return _MethodCodegen(cm).generate()
+
+
+# -- compiling and binding --------------------------------------------------
+
+
+def _namespace(cm: CompiledMethod) -> dict:
+    ns: dict = {
+        "_pk": cm.profile_key,
+        "_cm": cm,
+        "_Frame": Frame,
+        "_trap": _trap,
+        "_Fuel": FuelExhaustedError,
+        "_CALL": _CALL,
+    }
+    for bi, block in enumerate(cm.blocks.values()):
+        ns[f"_blk{bi}"] = block
+    for j, origin in enumerate(_edge_origins(cm)):
+        ns[f"_og{j}"] = origin
+    return ns
+
+
+def ensure_jit(cm: CompiledMethod) -> dict:
+    """Return the method's segment table, generating/compiling on demand.
+
+    ``jit_source`` survives pickling (codecache persistence, engine-pool
+    workers); ``jit_entries`` holds per-process closures and is always
+    rebuilt here.
+    """
+    entries = cm.jit_entries
+    if entries is not None:
+        return entries
+    source = cm.jit_source
+    if source is None:
+        source = generate_source(cm)
+        cm.jit_source = source
+    code_obj = _CODE_OBJECTS.get(source)
+    if code_obj is None:
+        if len(_CODE_OBJECTS) >= _CODE_OBJECTS_BOUND:
+            _CODE_OBJECTS.clear()
+        code_obj = compile(source, "<blockjit>", "exec")
+        _CODE_OBJECTS[source] = code_obj
+    ns = _namespace(cm)
+    exec(code_obj, ns)
+    entries = {}
+    for bi, block in enumerate(cm.blocks.values()):
+        for ip in _entry_ips(block):
+            entries[(block.label, ip)] = ns[f"_f{bi}_{ip}"]
+    cm.jit_entries = entries
+    return entries
+
+
+# -- the driver -------------------------------------------------------------
+
+
+class JitState:
+    """Mutable scalars threaded through segment calls.
+
+    Hot per-op traffic stays in segment-function locals; this object is
+    only touched at segment boundaries (and at yieldpoints for
+    ``path_reg``).
+    """
+
+    __slots__ = ("cyc", "fuel", "path_reg", "ret_value")
+
+    def __init__(self, fuel: int) -> None:
+        self.cyc = 0.0
+        self.fuel = fuel
+        self.path_reg = 0
+        self.ret_value = 0
+
+
+def execute_blockjit(vm, fuel: int) -> int:
+    """Block-dispatch twin of :func:`repro.vm.interpreter.execute`.
+
+    Methods are jitted lazily at first entry — the adaptive system swaps
+    recompiled methods into ``vm.code`` mid-run, and callee lookup stays
+    dynamic, so a method may first be reached long after the run starts.
+    """
+    code = vm.code
+    main_cm = code.get(vm.main)
+    if main_cm is None:
+        raise VMError(f"no compiled method for main {vm.main!r}")
+
+    frame = Frame(main_cm)
+    stack = [frame]
+    # Expose the live stack so the yieldpoint handler can walk it (the
+    # dynamic call graph sampling of paper section 4.1).
+    vm.guest_stack = stack
+    regs = frame.regs
+    st = JitState(fuel)
+    entries = main_cm.jit_entries
+    if entries is None:
+        entries = ensure_jit(main_cm)
+    fn = entries[(main_cm.entry.label, 0)]
+    call = _CALL
+
+    while True:
+        nxt = fn(vm, frame, regs, st)
+        if nxt is not None:
+            if nxt is call:
+                # A callee frame was pushed by the segment.
+                frame = stack[-1]
+                regs = frame.regs
+                st.path_reg = 0
+                cm = frame.cm
+                entries = cm.jit_entries
+                if entries is None:
+                    entries = ensure_jit(cm)
+                fn = entries[(cm.entry.label, 0)]
+            else:
+                fn = nxt
+            continue
+        # Guest return.
+        value = st.ret_value
+        stack.pop()
+        if not stack:
+            vm.cycles += st.cyc
+            return value
+        dst = frame.ret_dst
+        frame = stack[-1]
+        regs = frame.regs
+        st.path_reg = frame.path_reg
+        if dst is not None:
+            regs[dst] = value
+        cm = frame.cm
+        entries = cm.jit_entries
+        if entries is None:  # pragma: no cover - jitted before it called
+            entries = ensure_jit(cm)
+        fn = entries[(frame.block.label, frame.ip)]

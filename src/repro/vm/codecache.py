@@ -40,7 +40,11 @@ from repro.vm.interpreter import CompiledMethod
 ENV_DISABLE = "REPRO_CODECACHE"
 ENV_BOUND = "REPRO_CODECACHE_BOUND"
 DEFAULT_BOUND = 2048
-_FORMAT = 1
+# Format 2: CompiledMethod pickles carry the blockjit-generated source
+# (``jit_source``) so warm runs skip codegen; per-process closures
+# (``jit_entries``) are dropped on pickle and rebuilt lazily.  Cache
+# keys also gained a resolved ``fuse`` field (previously always None).
+_FORMAT = 2
 
 
 # -- fingerprints -----------------------------------------------------------

@@ -22,6 +22,7 @@ this).
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional, Tuple
 
 from repro.bytecode.instructions import Br, Jmp, Ret
@@ -89,10 +90,37 @@ T_BR = 2
 # and cmp_dst names the already-live register the branch reads.
 T_BRCMP = 3
 
-# Default for :func:`lower_method`'s ``fuse`` parameter: superinstruction
-# fusion is on everywhere except when a caller explicitly opts out (the
-# equivalence tests lower both ways and compare).
-FUSE_SUPERINSTRUCTIONS = True
+# Default for :func:`lower_method`'s ``fuse`` parameter.  ``None`` means
+# "resolve at lowering time" via :func:`resolve_fuse`: an explicit
+# argument wins, then this module flag (tests may pin it), then the
+# ``REPRO_FUSE`` environment variable, then the built-in default of
+# *off* — BENCH_perf.json measured fusion as a ~1% loss under CPython
+# 3.11 (``fusion_speedup ≈ 0.99``: the wider OP_CONSTBIN/T_BRCMP decode
+# bodies cost more than the saved dispatch), and the blockjit engine
+# compiles dispatch away entirely, so fusion no longer earns its place
+# as the default.  The encoding and the ``fuse`` parameter remain for
+# the equivalence tests and for ``REPRO_FUSE=1`` experiments.
+# Crucially the resolved default does NOT depend on whether blockjit is
+# active: the same lowered image must run under both engines so their
+# digests stay byte-identical.
+FUSE_SUPERINSTRUCTIONS: Optional[bool] = None
+
+
+def resolve_fuse(fuse: Optional[bool] = None) -> bool:
+    """Resolve the effective superinstruction-fusion setting.
+
+    Compilers must pass this resolved value into their codecache keys
+    (not the raw ``None``): the cache persists across processes, and a
+    key must never conflate fused and unfused artefacts.
+    """
+    if fuse is not None:
+        return bool(fuse)
+    if FUSE_SUPERINSTRUCTIONS is not None:
+        return bool(FUSE_SUPERINSTRUCTIONS)
+    env = os.environ.get("REPRO_FUSE")
+    if env is not None and env.strip():
+        return env.strip().lower() not in ("0", "off", "no", "false")
+    return False
 
 _MAX_ARRAY = 1 << 24
 
@@ -131,6 +159,8 @@ class CompiledMethod:
         "static_size",
         "cost_multiplier",
         "profile_key",
+        "jit_source",
+        "jit_entries",
     )
 
     def __init__(
@@ -153,6 +183,21 @@ class CompiledMethod:
         self.static_size = static_size
         self.cost_multiplier = cost_multiplier
         self.profile_key = f"{source_name}#v{version}"
+        # Blockjit artefacts (see repro.vm.blockjit): the generated
+        # source is content (it travels with pickled methods, so the
+        # codecache persists it); the compiled segment closures are
+        # per-process and rebuilt lazily.
+        self.jit_source: Optional[str] = None
+        self.jit_entries: Optional[dict] = None
+
+    def __getstate__(self) -> dict:
+        state = {slot: getattr(self, slot) for slot in self.__slots__}
+        state["jit_entries"] = None  # closures don't pickle; rebuilt lazily
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        for slot in self.__slots__:
+            setattr(self, slot, state.get(slot))
 
     def attach_dag(self, dag: PDag) -> None:
         self.dag = dag
@@ -171,12 +216,12 @@ def lower_method(
 ) -> CompiledMethod:
     """Lower a (possibly instrumented) method to executable form.
 
-    ``fuse`` enables superinstruction fusion (default: the module-level
-    :data:`FUSE_SUPERINSTRUCTIONS` flag).  Fusion never changes results,
-    profiles, or virtual-cycle accounting — only dispatch count.
+    ``fuse`` enables superinstruction fusion (default: resolved by
+    :func:`resolve_fuse`).  Fusion never changes results, profiles, or
+    virtual-cycle accounting — only dispatch count.
     """
     if fuse is None:
-        fuse = FUSE_SUPERINSTRUCTIONS
+        fuse = resolve_fuse()
     mult = costs.tier_multiplier(tier)
     cm = CompiledMethod(
         method.name,

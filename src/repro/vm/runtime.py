@@ -23,6 +23,7 @@ from repro.profiling.callgraph import CallGraphProfile
 from repro.profiling.edges import EdgeProfile
 from repro.profiling.paths import PathProfile
 from repro.util.rng import DeterministicRng
+from repro.vm.blockjit import blockjit_enabled, execute_blockjit
 from repro.vm.costs import CostModel
 from repro.vm.interpreter import CompiledMethod, execute
 
@@ -93,6 +94,7 @@ class VirtualMachine:
         tick_jitter: float = 0.0,
         jitter_seed: int = 0,
         resilience=None,
+        blockjit: Optional[bool] = None,
     ) -> None:
         if main not in code:
             raise VMError(f"code cache has no main method {main!r}")
@@ -106,6 +108,14 @@ class VirtualMachine:
         # repro.resilience); the sampler and adaptive controller consult
         # it, and its HealthReport travels on the RunResult.
         self.resilience = resilience
+        # Engine selection: the template-compiled block engine
+        # (repro.vm.blockjit) by default, the tuple interpreter when
+        # disabled explicitly or via REPRO_BLOCKJIT=0.  Both engines are
+        # bit-identical in every observable, so this only moves wall
+        # clock (tests/test_blockjit.py proves it).
+        self.use_blockjit = (
+            blockjit_enabled() if blockjit is None else bool(blockjit)
+        )
 
         # Profiles being collected during this run.
         self.edge_profile = EdgeProfile()
@@ -185,7 +195,8 @@ class VirtualMachine:
 
     def run(self, fuel: int = DEFAULT_FUEL) -> RunResult:
         """Execute main to completion and return the result snapshot."""
-        return_value = execute(self, fuel)
+        engine = execute_blockjit if self.use_blockjit else execute
+        return_value = engine(self, fuel)
         return RunResult(
             return_value=return_value,
             cycles=self.cycles,

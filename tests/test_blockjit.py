@@ -1,0 +1,417 @@
+"""Blockjit <-> interpreter bit-identity, the engine's load-bearing contract.
+
+Every test holds the *compiled image* fixed and toggles only the engine
+(mirroring the ``fuse`` equivalence suite, which holds the engine fixed
+and toggles the encoding): same return values, same outputs, same exact
+virtual cycles, same path/edge profiles, same traps with the same
+locations and cycle counts — across every bundled workload, under fault
+injection, and with the codecache warm or cold.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.bytecode.builder import ProgramBuilder
+from repro.bytecode.instructions import (
+    ALoad,
+    BinOp,
+    BinOpImm,
+    Call,
+    Const,
+    NewArr,
+    Ret,
+)
+from repro.bytecode.method import Method, Program
+from repro.engine import ExperimentPool, make_sweep_cells
+from repro.errors import FuelExhaustedError, GuestTrapError
+from repro.harness.experiment import config_to_spec, measure_cell, pep_config
+from repro.persist import payload_checksum
+from repro.resilience import FaultPlan
+from repro.sampling.arnold_grove import make_sampler
+from repro.vm import blockjit, codecache
+from repro.vm.blockjit import ensure_jit, generate_source
+from repro.vm.costs import CostModel
+from repro.vm.interpreter import lower_method
+from repro.vm.runtime import VirtualMachine
+from repro.workloads.generator import GeneratorSpec, random_program
+from repro.workloads.suite import benchmark_suite
+
+from tests.compile_util import compile_simple
+from tests.helpers import call_program, counting_program
+
+ALL_WORKLOADS = [w.name for w in benchmark_suite()]
+
+
+def _run_engines(program: Program, mode=None, tier="opt2", sampler=None,
+                 tick_interval=None, fuel=50_000_000, costs=None):
+    """Run the *same* compiled image under both engines."""
+    costs = costs or CostModel()
+    code = compile_simple(program, mode=mode, costs=costs, tier=tier)
+    results = []
+    for bj in (False, True):
+        vm = VirtualMachine(
+            code,
+            program.main,
+            costs=costs,
+            tick_interval=tick_interval,
+            sampler=make_sampler(*sampler) if sampler else None,
+            blockjit=bj,
+        )
+        results.append((vm, vm.run(fuel=fuel)))
+    return results
+
+
+def _assert_identical(interp, jit):
+    vm_i, res_i = interp
+    vm_j, res_j = jit
+    assert res_j.return_value == res_i.return_value
+    assert vm_j.output == vm_i.output
+    assert res_j.cycles == res_i.cycles  # exact, not approximate
+    assert res_j.ticks == res_i.ticks
+    assert res_j.samples_taken == res_i.samples_taken
+    assert res_j.path_count_updates == res_i.path_count_updates
+    assert sorted(vm_j.path_profile.items()) == sorted(vm_i.path_profile.items())
+    assert {repr(b): c for b, c in vm_j.edge_profile.items()} == {
+        repr(b): c for b, c in vm_i.edge_profile.items()
+    }
+
+
+# -- basic program equivalence ----------------------------------------------
+
+
+@pytest.mark.parametrize("mode", [None, "pep", "full-hash", "classic", "edges"])
+def test_engine_equivalence_counting(mode):
+    _assert_identical(*_run_engines(counting_program(30), mode=mode))
+
+
+@pytest.mark.parametrize("mode", [None, "pep", "edges"])
+def test_engine_equivalence_calls(mode):
+    _assert_identical(*_run_engines(call_program(), mode=mode))
+
+
+@pytest.mark.parametrize("tier", ["baseline", "opt0", "opt1", "opt2"])
+def test_engine_equivalence_every_tier(tier):
+    # opt0/opt1 multipliers (1.15/1.05) make per-op costs non-dyadic:
+    # exact cycle equality here proves the codegen never re-associates
+    # the float cost accumulation.
+    _assert_identical(*_run_engines(call_program(), mode="pep", tier=tier))
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_engine_equivalence_random_programs(seed):
+    program = random_program(seed, GeneratorSpec(n_helpers=2, work_budget=300))
+    _assert_identical(*_run_engines(program))
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_engine_equivalence_random_programs_sampled(seed):
+    program = random_program(
+        seed + 200, GeneratorSpec(n_helpers=1, work_budget=200)
+    )
+    _assert_identical(
+        *_run_engines(
+            program, mode="pep", sampler=(8, 5), tick_interval=400.0
+        )
+    )
+
+
+def test_engine_equivalence_with_fusion_enabled():
+    # Blockjit compiles the fused encoding (OP_CONSTBIN / T_BRCMP) too.
+    costs = CostModel()
+    program = counting_program(25)
+    code = compile_simple(program, mode="pep", costs=costs, fuse=True)
+    runs = []
+    for bj in (False, True):
+        vm = VirtualMachine(code, program.main, costs=costs, blockjit=bj)
+        runs.append((vm, vm.run()))
+    _assert_identical(*runs)
+
+
+# -- trap and fuel parity ----------------------------------------------------
+
+
+def _trap_program(kind: str) -> Program:
+    method = Method("main", num_params=0, num_regs=4)
+    entry = method.new_block("entry")
+    if kind == "div":
+        entry.append(Const(1, 9))
+        entry.append(Const(2, 0))
+        entry.append(BinOp("div", 0, 1, 2))
+    elif kind == "shift":
+        entry.append(Const(1, 9))
+        entry.append(Const(2, 99))
+        entry.append(BinOp("shl", 0, 1, 2))
+    elif kind == "index":
+        entry.append(Const(1, 4))
+        entry.append(NewArr(0, 1))
+        entry.append(Const(2, 77))
+        entry.append(ALoad(3, 0, 2))
+    elif kind == "size":
+        entry.append(Const(1, -3))
+        entry.append(NewArr(0, 1))
+    elif kind == "badcall":
+        # "missing" exists at verification time but is dropped from the
+        # VM's code dict below, so the call traps at run time.
+        entry.append(Call(0, "missing", []))
+        missing = Method("missing", num_params=0, num_regs=1)
+        mb = missing.new_block("entry")
+        mb.terminator = Ret(0)
+        missing.seal()
+    elif kind == "shift_imm":
+        entry.append(Const(1, 9))
+        entry.append(BinOpImm("shr", 0, 1, -2))
+    entry.terminator = Ret(0)
+    method.seal()
+    program = Program("t", main="main")
+    program.add(method)
+    if kind == "badcall":
+        program.add(missing)
+    return program
+
+
+@pytest.mark.parametrize(
+    "kind", ["div", "shift", "index", "size", "badcall", "shift_imm"]
+)
+def test_trap_parity_exact(kind):
+    program = _trap_program(kind)
+    costs = CostModel()
+    code = compile_simple(program, costs=costs)
+    code.pop("missing", None)  # force the unknown-callee trap
+    seen = []
+    for bj in (False, True):
+        vm = VirtualMachine(code, program.main, costs=costs, blockjit=bj)
+        with pytest.raises(GuestTrapError) as info:
+            vm.run()
+        trap = info.value
+        seen.append(
+            (str(trap), trap.method, trap.block, trap.instruction_index,
+             trap.cycles, vm.cycles)
+        )
+    # Full-string equality: message, method, block, index, and cycle
+    # count all embedded — the engines must agree on every one.
+    assert seen[0] == seen[1]
+
+
+def test_stack_overflow_parity():
+    pb = ProgramBuilder("rec")
+    f = pb.function("main")
+    f.ret(f.call("main"))
+    program = pb.build()
+    costs = CostModel()
+    code = compile_simple(program, costs=costs)
+    seen = []
+    for bj in (False, True):
+        vm = VirtualMachine(
+            code, program.main, costs=costs, max_stack_depth=50, blockjit=bj
+        )
+        with pytest.raises(GuestTrapError) as info:
+            vm.run()
+        seen.append((str(info.value), info.value.cycles))
+    assert "guest stack overflow" in seen[0][0]
+    assert seen[0] == seen[1]
+
+
+@pytest.mark.parametrize("fuel", [3, 57, 511, 4096])
+def test_fuel_exhaustion_parity(fuel):
+    program = counting_program(500)
+    costs = CostModel()
+    code = compile_simple(program, costs=costs)
+    seen = []
+    for bj in (False, True):
+        vm = VirtualMachine(code, program.main, costs=costs, blockjit=bj)
+        with pytest.raises(FuelExhaustedError) as info:
+            vm.run(fuel=fuel)
+        err = info.value
+        seen.append(
+            (str(err), err.method, err.block, err.instruction_index, err.cycles)
+        )
+    assert seen[0] == seen[1]
+
+
+# -- cross-workload digest equivalence (all bundled SPECjvm/DaCapo) ---------
+
+
+def _cell_digest(workload: str, monkeypatch, enabled: bool, scale: float = 0.5):
+    monkeypatch.setenv(blockjit.ENV_DISABLE, "1" if enabled else "0")
+    spec = config_to_spec(pep_config(16, 3))
+    metrics = measure_cell(workload, scale, spec, seed=7)
+    return metrics["digest"], metrics["cycles"], metrics["ticks"]
+
+
+@pytest.mark.parametrize("workload", ALL_WORKLOADS)
+def test_workload_digest_equivalence(workload, monkeypatch):
+    off = _cell_digest(workload, monkeypatch, enabled=False)
+    on = _cell_digest(workload, monkeypatch, enabled=True)
+    assert on == off
+
+
+# -- adaptive system and fault injection ------------------------------------
+
+
+def _adaptive_report(program: Program, monkeypatch, enabled: bool, plan=None):
+    from repro.api import profile_adaptive
+
+    monkeypatch.setenv(blockjit.ENV_DISABLE, "1" if enabled else "0")
+    report = profile_adaptive(
+        program, samples=16, stride=3, ticks=120, fault_plan=plan
+    )
+    return payload_checksum(
+        {
+            "paths": sorted(report.paths.items()),
+            "edges": sorted(
+                (repr(b), c) for b, c in report.edges.items()
+            ),
+            "output": list(report.result.output),
+            "return_value": report.result.return_value,
+            "cycles": report.result.cycles,
+            "recompilations": report.result.recompilations,
+            "compile_cycles": report.result.compile_cycles,
+            "health": report.health.to_dict(),
+        }
+    )
+
+
+def test_adaptive_recompilation_parity(monkeypatch):
+    # The adaptive system swaps recompiled methods into vm.code mid-run;
+    # blockjit must jit them lazily at first entry and keep old frames
+    # running old code, exactly like the interpreter.
+    program = benchmark_suite()[0].build(0.5)  # compress
+    off = _adaptive_report(program, monkeypatch, enabled=False)
+    on = _adaptive_report(program, monkeypatch, enabled=True)
+    assert on == off
+
+
+@pytest.mark.parametrize(
+    "plan_spec",
+    [
+        {"sample": 0.4},
+        {"opt-compile": 0.6},
+        {"path-reconstruct": 0.5, "path-table": 0.3},
+        {"sample": 0.3, "opt-compile": 0.3, "advice-load": 0.5},
+    ],
+)
+def test_fault_injection_parity(plan_spec, monkeypatch):
+    # Every resilience site fires outside the per-op hot loop (samplers,
+    # compilers, resolvers), so an identical fault sequence — and the
+    # identical degraded behavior — must emerge under both engines.
+    program = call_program()
+    off = _adaptive_report(
+        program, monkeypatch, enabled=False, plan=FaultPlan(plan_spec, seed=11)
+    )
+    on = _adaptive_report(
+        program, monkeypatch, enabled=True, plan=FaultPlan(plan_spec, seed=11)
+    )
+    assert on == off
+
+
+# -- codecache warm vs cold, pickling ---------------------------------------
+
+
+def test_jit_source_survives_pickle_and_reexecs():
+    costs = CostModel()
+    program = call_program()
+    code = compile_simple(program, mode="pep", costs=costs)
+    vm = VirtualMachine(code, program.main, costs=costs, blockjit=True)
+    cold = vm.run()
+    cm = code["main"]
+    assert cm.jit_source is not None and cm.jit_entries is not None
+
+    clone = pickle.loads(pickle.dumps(cm))
+    assert clone.jit_source == cm.jit_source  # codegen skipped when warm
+    assert clone.jit_entries is None  # closures are per-process
+    entries = ensure_jit(clone)
+    assert set(entries) == set(cm.jit_entries)
+
+    warm_code = {
+        name: pickle.loads(pickle.dumps(m)) for name, m in code.items()
+    }
+    vm2 = VirtualMachine(warm_code, program.main, costs=costs, blockjit=True)
+    warm = vm2.run()
+    assert (warm.return_value, warm.cycles, list(vm2.output)) == (
+        cold.return_value, cold.cycles, list(vm.output)
+    )
+
+
+def test_codecache_roundtrip_preserves_jit_source(tmp_path):
+    costs = CostModel()
+    program = call_program()
+    code = compile_simple(program, costs=costs)
+    vm = VirtualMachine(code, program.main, costs=costs, blockjit=True)
+    vm.run()
+    cache = codecache.CompilationCache()
+    for name, cm in code.items():
+        cache.put(("t", name), cm, 10.0)
+    path = str(tmp_path / "cache.pkl")
+    cache.save(path)
+
+    restored = codecache.CompilationCache()
+    assert restored.load(path) == len(code)
+    for name, cm in code.items():
+        loaded, _ = restored.entries[("t", name)]
+        assert loaded.jit_source == cm.jit_source
+        assert loaded.jit_entries is None
+
+
+def test_generated_source_is_content_addressed():
+    # Two identical lowered bodies produce byte-identical source (names
+    # and labels are positional/injected), so the process-wide code
+    # object memo actually hits.
+    costs = CostModel()
+    a = compile_simple(counting_program(30), costs=costs)["main"]
+    b = compile_simple(counting_program(30), costs=costs)["main"]
+    assert generate_source(a) == generate_source(b)
+    ensure_jit(a)
+    before = len(blockjit._CODE_OBJECTS)
+    ensure_jit(b)
+    assert len(blockjit._CODE_OBJECTS) == before  # memo hit, no recompile
+
+
+# -- engine pool: parallel sweeps under blockjit ----------------------------
+
+
+def test_pool_sweep_digests_blockjit_on_off(monkeypatch, tmp_path):
+    specs = [config_to_spec(pep_config(16, 3))]
+    cells = make_sweep_cells(["compress", "db"], specs, scale=0.5)
+    digests = {}
+    for enabled in (False, True):
+        monkeypatch.setenv(blockjit.ENV_DISABLE, "1" if enabled else "0")
+        persist = str(tmp_path / f"cache-{enabled}.pkl")
+        pool = ExperimentPool(jobs=2, strict=True, persist_path=persist)
+        results = pool.run(cells)
+        digests[enabled] = [r.metrics["digest"] for r in results]
+    assert digests[True] == digests[False]
+
+
+# -- kill switch -------------------------------------------------------------
+
+
+def test_kill_switch_and_override(monkeypatch):
+    code = compile_simple(counting_program(5))
+    monkeypatch.setenv(blockjit.ENV_DISABLE, "0")
+    assert not blockjit.blockjit_enabled()
+    assert not VirtualMachine(code, "main").use_blockjit
+    assert VirtualMachine(code, "main", blockjit=True).use_blockjit
+    monkeypatch.setenv(blockjit.ENV_DISABLE, "1")
+    assert blockjit.blockjit_enabled()
+    assert VirtualMachine(code, "main").use_blockjit
+    assert not VirtualMachine(code, "main", blockjit=False).use_blockjit
+
+
+def test_blockjit_actually_engaged():
+    # Guard against the equivalence suite silently comparing the
+    # interpreter with itself: the block engine must leave its artefacts.
+    program = counting_program(10)
+    code = compile_simple(program)
+    vm = VirtualMachine(code, program.main, blockjit=True)
+    vm.run()
+    cm = code["main"]
+    assert cm.jit_source is not None
+    assert cm.jit_entries
+    assert all(callable(fn) for fn in cm.jit_entries.values())
+    vm2_code = compile_simple(program)
+    vm2 = VirtualMachine(vm2_code, program.main, blockjit=False)
+    vm2.run()
+    assert vm2_code["main"].jit_entries is None  # interpreter never jits

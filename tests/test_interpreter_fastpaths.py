@@ -159,7 +159,9 @@ def test_const_bin_fusion_skips_const_feeding_both_operands():
     method.seal()
     program = Program("t", main="main")
     program.add(method)
-    cm = lower_method(program.method("main").clone(), "opt2", CostModel())
+    cm = lower_method(
+        program.method("main").clone(), "opt2", CostModel(), fuse=True
+    )
     codes = [op[0] for block in cm.blocks.values() for op in block.ops]
     assert OP_CONSTBIN not in codes
     fused, unfused = _run_both(program)
@@ -251,7 +253,9 @@ def test_const_br_degenerate_fusion(kind):
     method.seal()
     program = Program("t", main="main")
     program.add(method)
-    cm = lower_method(program.method("main").clone(), "opt2", CostModel())
+    cm = lower_method(
+        program.method("main").clone(), "opt2", CostModel(), fuse=True
+    )
     term = cm.blocks["entry"].term
     assert term[0] == T_BRCMP
     assert term[2] == -1
@@ -271,7 +275,9 @@ def test_const_br_fusion_skips_when_branch_lhs_is_const_reg():
     method.seal()
     program = Program("t", main="main")
     program.add(method)
-    cm = lower_method(program.method("main").clone(), "opt2", CostModel())
+    cm = lower_method(
+        program.method("main").clone(), "opt2", CostModel(), fuse=True
+    )
     assert cm.blocks["entry"].term[0] != T_BRCMP
     fused, unfused = _run_both(program)
     _assert_identical(fused, unfused)
@@ -291,7 +297,9 @@ def test_cmp_br_fusion_skips_when_cmp_result_register_reused():
     method.seal()
     program = Program("t", main="main")
     program.add(method)
-    cm = lower_method(program.method("main").clone(), "opt2", CostModel())
+    cm = lower_method(
+        program.method("main").clone(), "opt2", CostModel(), fuse=True
+    )
     assert cm.blocks["entry"].term[0] != T_BRCMP
     fused, unfused = _run_both(program)
     _assert_identical(fused, unfused)

@@ -142,7 +142,9 @@ def test_random_programs_semantics_invariant_under_instrumentation(seed):
     program = random_program(seed, GeneratorSpec(n_helpers=2, work_budget=300))
     outputs = set()
     for mode in (None, "pep", "full-hash", "classic", "edges"):
-        _, result = run_program(program, mode=mode, fuel=3_000_000)
+        # Fuel is per lowered instruction, so the cushion must cover the
+        # unfused default encoding plus instrumentation overhead.
+        _, result = run_program(program, mode=mode, fuel=8_000_000)
         outputs.add((tuple(result.output), result.return_value))
     assert len(outputs) == 1
 
@@ -163,7 +165,8 @@ def test_random_programs_with_uninterruptible_helpers(seed):
     # Semantics must still hold; profiles may lose paths (silent headers).
     base_out = None
     for mode in (None, "pep", "full-hash"):
-        _, result = run_program(program, mode=mode, fuel=3_000_000)
+        # Wide fuel cushion: see semantics-invariance test above.
+        _, result = run_program(program, mode=mode, fuel=8_000_000)
         if base_out is None:
             base_out = (tuple(result.output), result.return_value)
         else:
