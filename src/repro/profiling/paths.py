@@ -4,49 +4,131 @@ PEP's yieldpoint handler increments the frequency of the sampled path
 number (paper section 3.3); the full-instrumentation configurations update
 the same structure at every path end.  Path numbers are only meaningful
 together with the method's P-DAG, which the compiled-code registry keeps.
+
+Storage is hybrid (DESIGN.md §10): a method whose Ball-Larus ``num_paths``
+is known in advance (registered via :meth:`PathProfile.ensure_dense`) gets
+a dense ``array('q')`` counter table indexed by path number — the shape
+the paper's counter arrays have — while unregistered methods, methods
+above the size cap, and non-integral counts fall back to the original
+sparse dict.  Counts are integers in every recording path (increments of
+1), and integer-valued floats below 2**53 add exactly, so the two
+representations are value-identical: every query returns the same floats
+the dict representation returned, and digests cannot differ.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Tuple
+from array import array
+from typing import Dict, Iterator, List, Tuple, Union
+
+#: Methods with more Ball-Larus paths than this keep the sparse dict
+#: representation (a dense table would be allocation-bound, not faster).
+DENSE_PATH_CAP = 1 << 16
+
+_Table = Union[Dict[int, float], "array[int]"]
 
 
 class PathProfile:
     """Nested counters: method name -> path number -> frequency."""
 
-    __slots__ = ("_counts",)
+    __slots__ = ("_counts", "_dense_sizes")
 
     def __init__(self) -> None:
-        self._counts: Dict[str, Dict[int, float]] = {}
+        self._counts: Dict[str, _Table] = {}
+        self._dense_sizes: Dict[str, int] = {}
+
+    def ensure_dense(self, method: str, num_paths: int) -> None:
+        """Register a method for dense counters (before its first record).
+
+        A no-op for oversized path spaces, unnumbered DAGs
+        (``num_paths == 0``), and methods that already have a (dict)
+        table — registration never changes existing counts.
+        """
+        if 0 < num_paths <= DENSE_PATH_CAP and method not in self._counts:
+            self._dense_sizes[method] = num_paths
 
     def record(self, method: str, path_number: int, count: float = 1.0) -> None:
         table = self._counts.get(method)
+        if type(table) is dict:
+            table[path_number] = table.get(path_number, 0.0) + count
+            return
         if table is None:
-            table = {}
+            size = self._dense_sizes.get(method)
+            if size is None:
+                self._counts[method] = {path_number: 0.0 + count}
+                return
+            table = array("q", bytes(8 * size))
             self._counts[method] = table
-        table[path_number] = table.get(path_number, 0.0) + count
+        if 0 <= path_number < len(table):
+            if count == 1.0:
+                table[path_number] += 1
+                return
+            try:
+                c = int(count)
+                if c == count and c != 0:
+                    table[path_number] += c
+                    return
+            except (OverflowError, ValueError):
+                pass
+        # Out-of-range path, zero, non-integral, or overflowing count:
+        # demote this method to the sparse dict, which represents all of
+        # those exactly as before dense tables existed.
+        self._demote(method)
+        self.record(method, path_number, count)
+
+    def _demote(self, method: str) -> None:
+        table = self._counts.get(method)
+        self._dense_sizes.pop(method, None)
+        if type(table) is dict or table is None:
+            return
+        self._counts[method] = {
+            number: float(value) for number, value in enumerate(table) if value
+        }
 
     def frequency(self, method: str, path_number: int) -> float:
-        return self._counts.get(method, {}).get(path_number, 0.0)
+        table = self._counts.get(method)
+        if table is None:
+            return 0.0
+        if type(table) is dict:
+            return table.get(path_number, 0.0)
+        if 0 <= path_number < len(table):
+            return float(table[path_number])
+        return 0.0
 
     def method_paths(self, method: str) -> Dict[int, float]:
-        return dict(self._counts.get(method, {}))
+        table = self._counts.get(method)
+        if table is None:
+            return {}
+        if type(table) is dict:
+            return dict(table)
+        return {
+            number: float(value) for number, value in enumerate(table) if value
+        }
 
     def methods(self) -> Iterator[str]:
         return iter(self._counts)
 
     def items(self) -> Iterator[Tuple[str, int, float]]:
         for method, table in self._counts.items():
-            for path_number, freq in table.items():
-                yield method, path_number, freq
+            if type(table) is dict:
+                for path_number, freq in table.items():
+                    yield method, path_number, freq
+            else:
+                for path_number, value in enumerate(table):
+                    if value:
+                        yield method, path_number, float(value)
 
     def total_samples(self) -> float:
-        return sum(
-            freq for table in self._counts.values() for freq in table.values()
-        )
+        return sum(freq for _method, _number, freq in self.items())
 
     def distinct_paths(self) -> int:
-        return sum(len(table) for table in self._counts.values())
+        total = 0
+        for table in self._counts.values():
+            if type(table) is dict:
+                total += len(table)
+            else:
+                total += sum(1 for value in table if value)
+        return total
 
     def merge(self, other: "PathProfile") -> None:
         for method, path_number, freq in other.items():
@@ -55,7 +137,11 @@ class PathProfile:
     def copy(self) -> "PathProfile":
         clone = PathProfile()
         for method, table in self._counts.items():
-            clone._counts[method] = dict(table)
+            if type(table) is dict:
+                clone._counts[method] = dict(table)
+            else:
+                clone._counts[method] = array("q", table)
+        clone._dense_sizes.update(self._dense_sizes)
         return clone
 
     def clear(self) -> None:

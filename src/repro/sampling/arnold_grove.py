@@ -20,15 +20,22 @@ then samples 64 consecutive yieldpoints.
 
 from __future__ import annotations
 
-from typing import Optional
+from array import array
+from typing import List, Optional
 
 from repro.errors import PathReconstructionError, ReproError
+from repro.util.flags import samplefast_enabled
 from repro.vm.interpreter import CompiledMethod
 from repro.vm.runtime import VirtualMachine
 
 _IDLE = 0
 _STRIDING = 1
 _SAMPLING = 2
+
+#: Buffered samples are drained at tick boundaries, burst ends, and run
+#: end; the cap only bounds memory if a single burst is pathologically
+#: long (SAMPLES far above any tick's yieldpoint count).
+_RING_CAP = 8192
 
 
 class SamplingConfig:
@@ -88,6 +95,30 @@ class ArnoldGroveSampler:
     (section 4.3).
     """
 
+    __slots__ = (
+        "config",
+        "record_paths",
+        "_state",
+        "_skip_left",
+        "_samples_left",
+        "_rotation",
+        "_fast",
+        "_between",
+        "_buf_cm",
+        "_buf_path",
+        "_buf_n",
+        "_buf_last_cm",
+        "_buf_last_path",
+        "_rc_vm",
+        "_rc_cm",
+        "_rc_ok",
+        "_rc_np",
+        "_rc_pk",
+        "_c_sample",
+        "_c_stride",
+        "_c_expand",
+    )
+
     def __init__(self, config: SamplingConfig, record_paths: bool = True) -> None:
         self.config = config
         self.record_paths = record_paths
@@ -95,8 +126,44 @@ class ArnoldGroveSampler:
         self._skip_left = 0
         self._samples_left = 0
         self._rotation = 0
+        # Fast datapath (DESIGN.md §10): samples buffer into flat lists
+        # and drain in batches; REPRO_SAMPLEFAST=0 keeps the original
+        # sample-at-a-time recording.  Resolved once at construction.
+        self._fast = samplefast_enabled()
+        self._between = not config.simplified and config.stride > 1
+        # Run-length-encoded sample buffer: parallel lists of
+        # (method, path, repeat count).  Hot loops sample the same path
+        # many times in a row, so most samples are a single list-item
+        # increment.
+        self._buf_cm: List[CompiledMethod] = []
+        self._buf_path: List[int] = []
+        self._buf_n: List[int] = []
+        self._buf_last_cm: Optional[CompiledMethod] = None
+        self._buf_last_path = -1
+        # Record-path probe cache, keyed by (vm, cm) identity: resolver
+        # presence, resilience, and the DAG's path-number range are
+        # fixed per (vm, cm), so the per-sample record decision reduces
+        # to two identity checks and a range compare.
+        self._rc_vm: Optional[VirtualMachine] = None
+        self._rc_cm: Optional[CompiledMethod] = None
+        self._rc_ok = False
+        self._rc_np = 0
+        self._rc_pk = ""
+        # Dilated handler costs, refreshed from the VM's cost model at
+        # every tick (identical divisions, so identical floats to the
+        # per-sample computation they replace).
+        self._c_sample = 0.0
+        self._c_stride = 0.0
+        self._c_expand = 0.0
 
     def reset(self) -> None:
+        """Restart the burst state machine (rotation included).
+
+        Samples already buffered by the fast datapath are *not*
+        discarded: they were legitimately taken before the reset, and
+        the legacy datapath had already recorded them; the next drain
+        (tick, burst end, or :meth:`flush`) applies them.
+        """
         self._state = _IDLE
         self._skip_left = 0
         self._samples_left = 0
@@ -106,6 +173,13 @@ class ArnoldGroveSampler:
 
     def on_tick(self, vm: VirtualMachine) -> None:
         vm.flag = True
+        if self._fast:
+            if self._buf_cm:
+                self._drain(vm)
+            costs = vm.costs
+            self._c_sample = costs.scaled_handler(costs.handler_sample)
+            self._c_stride = costs.scaled_handler(costs.handler_stride)
+            self._c_expand = costs.scaled_handler(costs.handler_expand_first)
         if self._state != _IDLE:
             # The previous burst is still draining (very long bursts or
             # very short tick intervals); let it finish.
@@ -120,6 +194,82 @@ class ArnoldGroveSampler:
             self._state = _SAMPLING
 
     def on_yieldpoint(
+        self,
+        vm: VirtualMachine,
+        cm: CompiledMethod,
+        path_reg: int,
+        is_sample_point: bool,
+    ) -> float:
+        if not self._fast:
+            return self._on_yieldpoint_legacy(vm, cm, path_reg, is_sample_point)
+        state = self._state
+        if state == _SAMPLING:
+            cost = self._c_sample
+            vm.samples_taken += 1
+            if is_sample_point and self.record_paths:
+                if (
+                    cm is self._buf_last_cm
+                    and path_reg == self._buf_last_path
+                ):
+                    # Same (method, path) as the still-buffered previous
+                    # sample: that sample already passed the probe and
+                    # marked the expansion, so this one is a single
+                    # run-length bump.
+                    self._buf_n[-1] += 1
+                else:
+                    if cm is not self._rc_cm or vm is not self._rc_vm:
+                        self._rearm_record_cache(vm, cm)
+                    if self._rc_ok and 0 <= path_reg < self._rc_np:
+                        # Buffered record (see _drain for the apply).
+                        self._buf_cm.append(cm)
+                        self._buf_path.append(path_reg)
+                        self._buf_n.append(1)
+                        self._buf_last_cm = cm
+                        self._buf_last_path = path_reg
+                        if len(self._buf_cm) >= _RING_CAP:
+                            self._drain(vm)
+                        # First-expansion accounting is per-VM, exactly
+                        # as in _record: the cost lands on the sample
+                        # that triggers the expansion, even though the
+                        # (memoised) expansion itself now happens at the
+                        # drain.  In-range paths of a numbered DAG
+                        # always reconstruct, so marking eagerly matches
+                        # _record's success-only marking.
+                        pkey = (self._rc_pk, path_reg)
+                        expanded = vm.expanded_paths
+                        if pkey not in expanded:
+                            expanded.add(pkey)
+                            cost += self._c_expand
+                    else:
+                        # Resolver-less method, resilient run, or a path
+                        # number that cannot reconstruct: the original
+                        # sample-at-a-time datapath handles every such
+                        # case (including raising) exactly as before.
+                        cost += self._record(vm, cm, path_reg)
+            left = self._samples_left - 1
+            self._samples_left = left
+            if left == 0:
+                self._state = _IDLE
+                vm.flag = False
+                if self._buf_cm:
+                    self._drain(vm)
+            elif self._between:
+                # Regular Arnold-Grove: stride between every pair of samples.
+                self._state = _STRIDING
+                self._skip_left = self.config.stride - 1
+            return cost
+        if state == _STRIDING:
+            self._skip_left -= 1
+            vm.strides_skipped += 1
+            if self._skip_left == 0:
+                self._state = _SAMPLING
+            return self._c_stride
+        # Flag raised by someone else (e.g. a method-only tick burst
+        # already drained); nothing for us to do.
+        vm.flag = False
+        return 0.0
+
+    def _on_yieldpoint_legacy(
         self,
         vm: VirtualMachine,
         cm: CompiledMethod,
@@ -154,6 +304,17 @@ class ArnoldGroveSampler:
             self._state = _STRIDING
             self._skip_left = self.config.stride - 1
         return cost
+
+    def flush(self, vm: VirtualMachine) -> None:
+        """Drain buffered samples into the VM's profiles (run end).
+
+        :meth:`VirtualMachine.run` calls this after the engine returns
+        (and on engine errors), so profiles observed after a run are
+        complete.  Code that drives a sampler against several VMs by
+        hand must flush before switching VMs.
+        """
+        if self._buf_cm:
+            self._drain(vm)
 
     # -- internals ---------------------------------------------------------
 
@@ -219,6 +380,71 @@ class ArnoldGroveSampler:
         for branch, taken in events:
             edge_profile.record(branch, taken)
         return cost
+
+    def _rearm_record_cache(
+        self, vm: VirtualMachine, cm: CompiledMethod
+    ) -> None:
+        """Refresh the per-(vm, cm) record-path probe (see __init__).
+
+        ``_rc_ok`` means the buffered datapath may record for this
+        (vm, cm): the method has a resolver (it was compiled with PEP)
+        and the run has no resilience layer.  Fault-injection sites and
+        K-strikes accounting are order-sensitive per sample — buffering
+        would reorder them — so resilient runs keep the original
+        sample-at-a-time datapath via ``_record``.
+        """
+        self._rc_vm = vm
+        self._rc_cm = cm
+        resolver = cm.resolver
+        if resolver is None or vm.resilience is not None:
+            self._rc_ok = False
+            return
+        self._rc_ok = True
+        self._rc_np = resolver.dag.num_paths
+        self._rc_pk = cm.profile_key
+
+    def _drain(self, vm: VirtualMachine) -> None:
+        """Apply buffered samples: aggregate, then batch-update tables.
+
+        Sample order is preserved in aggregate: counters are integers,
+        so ``+k`` equals k successive ``+1``s exactly, and first-
+        occurrence iteration order reproduces the table insertion order
+        the per-sample datapath produced.
+        """
+        buf_cm = self._buf_cm
+        buf_path = self._buf_path
+        buf_n = self._buf_n
+        agg: dict = {}
+        agg_get = agg.get
+        for i in range(len(buf_cm)):
+            key = (buf_cm[i], buf_path[i])
+            agg[key] = agg_get(key, 0) + buf_n[i]
+        del buf_cm[:]
+        del buf_path[:]
+        del buf_n[:]
+        self._buf_last_cm = None
+        self._buf_last_path = -1
+        path_profile = vm.path_profile
+        edge_profile = vm.edge_profile
+        slot_cache = vm.edge_slot_cache
+        slot_cache_get = slot_cache.get
+        record_slots = edge_profile.record_slots
+        for (cm, path_reg), k in agg.items():
+            profile_key = cm.profile_key
+            count = float(k)
+            ckey = (profile_key, path_reg)
+            slots = slot_cache_get(ckey)
+            if slots is None:
+                resolver = cm.resolver
+                path_profile.ensure_dense(profile_key, resolver.dag.num_paths)
+                events = resolver.branch_events(path_reg)
+                slot_for = edge_profile.slot_for
+                slots = array(
+                    "q", [slot_for(branch, taken) for branch, taken in events]
+                )
+                slot_cache[ckey] = slots
+            path_profile.record(profile_key, path_reg, count)
+            record_slots(slots, count)
 
 
 def make_sampler(

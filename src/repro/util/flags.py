@@ -1,0 +1,43 @@
+"""Process-wide feature flags resolved from the environment.
+
+The sampling fast path (countdown yieldpoints, dense profile tables,
+buffered sample recording — see DESIGN.md §10) is controlled by
+``REPRO_SAMPLEFAST``.  It follows the same resolution idiom as
+:func:`repro.vm.interpreter.resolve_fuse`: an explicit argument wins,
+then the module flag (tests may pin it), then the environment variable,
+then the built-in default of *on*.
+
+Both datapaths are bit-identical in every observable (profiles, virtual
+cycles, fault-injection sequences — ``tests/test_samplefast.py`` proves
+it), so the flag only moves wall clock; ``REPRO_SAMPLEFAST=0`` is the
+kill switch that reverts to the legacy per-sample datapath.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+SAMPLEFAST_ENV = "REPRO_SAMPLEFAST"
+
+#: Module override: tests may pin this to force a datapath regardless of
+#: the environment.  ``None`` means "consult the environment".
+SAMPLEFAST: Optional[bool] = None
+
+
+def samplefast_enabled(explicit: Optional[bool] = None) -> bool:
+    """Resolve the effective sampling-fast-path setting.
+
+    Components that persist artefacts shaped by this flag (the blockjit
+    codecache keys) must store the *resolved* value, never the raw
+    ``None``, so cached artefacts from one mode are never replayed in
+    the other.
+    """
+    if explicit is not None:
+        return bool(explicit)
+    if SAMPLEFAST is not None:
+        return bool(SAMPLEFAST)
+    env = os.environ.get(SAMPLEFAST_ENV)
+    if env is not None and env.strip():
+        return env.strip().lower() not in ("0", "off", "no", "false")
+    return True

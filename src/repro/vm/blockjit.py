@@ -52,6 +52,7 @@ import os
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import FuelExhaustedError, VMError
+from repro.util.flags import samplefast_enabled
 from repro.vm.interpreter import (
     OP_ALEN,
     OP_ALOAD,
@@ -86,6 +87,11 @@ ENV_DISABLE = "REPRO_BLOCKJIT"
 #: Sentinel a segment returns after pushing a callee frame; the driver
 #: switches to the new frame's entry segment.
 _CALL = object()
+
+#: Countdown-yieldpoint gate value while the flag is up: every armed
+#: yieldpoint must reach the dispatcher until the burst drains; while
+#: the flag is down the gate is exactly ``next_tick``.
+_NEG_INF = float("-inf")
 
 # Process-wide memo of compiled code objects, keyed by the generated
 # source text itself (true content addressing: identical lowered bodies
@@ -205,6 +211,10 @@ class _MethodCodegen:
         self.blocks = list(cm.blocks.values())
         self.block_index = {block.label: bi for bi, block in enumerate(self.blocks)}
         self._origin_counter = 0
+        # Resolved once so a method's segments all share one yieldpoint
+        # style; the style is baked into the source text, which is what
+        # the codecache keys (via the resolved samplefast flag) address.
+        self._samplefast = samplefast_enabled()
         self.functions: List[str] = []
 
     # -- top level ----------------------------------------------------------
@@ -217,7 +227,7 @@ class _MethodCodegen:
             "# Generated by repro.vm.blockjit — one function per "
             "(block, entry-ip) segment.\n"
             "# Injected globals: _pk, _cm, _Frame, _trap, _Fuel, _CALL, "
-            "_blk*, _og*.\n"
+            "_NI, _blk*, _og*.\n"
         )
         return header + "\n".join(self.functions)
 
@@ -357,17 +367,56 @@ class _MethodCodegen:
             seg.emit("vm.path_profile.record(_pk, st.path_reg)")
             seg.emit("vm.path_count_updates += 1")
         elif c == OP_YIELD:
-            # Identical flush/tick/flag sequence to the interpreter; the
-            # handler call is what lets samplers, the adaptive system,
-            # and resilience fault sites fire unchanged under blockjit.
-            seg.emit("vm.cycles += _cyc")
-            seg.emit("_cyc = 0.0")
-            seg.emit("if vm.cycles >= vm.next_tick:")
-            seg.emit("vm.on_tick()", 2)
-            seg.emit("if vm.flag:")
-            seg.emit(
-                f"_cyc += vm.dispatch_yieldpoint(_cm, st.path_reg, {op[2]!r})", 2
-            )
+            if self._samplefast:
+                # Countdown yieldpoint (DESIGN.md §10): one compare
+                # against ``st.gate`` (next_tick while the flag is down,
+                # -inf while it is up) guards an inlined slow path that
+                # runs the exact legacy tick/flag sequence against the VM
+                # attributes, then re-derives the gate.  ``vm.cycles`` is
+                # still stored every yieldpoint with the bit-identical
+                # value.  After the once-per-tick method sample, dispatch
+                # reduces to the sampler call (its 0.0 cost seed adds
+                # exactly: costs are non-negative, so 0.0 + x == x
+                # bitwise), saving a frame per armed yieldpoint.
+                seg.emit("_t = vm.cycles + _cyc")
+                seg.emit("vm.cycles = _t")
+                seg.emit("_cyc = 0.0")
+                seg.emit("if _t >= st.gate:")
+                seg.emit("if _t >= vm.next_tick:", 2)
+                seg.emit("vm.on_tick()", 3)
+                seg.emit("if vm.flag:", 2)
+                seg.emit("_smp = vm.sampler", 3)
+                seg.emit(
+                    "if vm._tick_method_sampled and _smp is not None:", 3
+                )
+                seg.emit(
+                    "_cyc += _smp.on_yieldpoint"
+                    f"(vm, _cm, st.path_reg, {op[2]!r})",
+                    4,
+                )
+                seg.emit("else:", 3)
+                seg.emit(
+                    "_cyc += vm.dispatch_yieldpoint"
+                    f"(_cm, st.path_reg, {op[2]!r})",
+                    4,
+                )
+                seg.emit("st.gate = _NI if vm.flag else vm.next_tick", 3)
+                seg.emit("else:", 2)
+                seg.emit("st.gate = vm.next_tick", 3)
+            else:
+                # Identical flush/tick/flag sequence to the interpreter;
+                # the handler call is what lets samplers, the adaptive
+                # system, and resilience fault sites fire unchanged
+                # under blockjit.
+                seg.emit("vm.cycles += _cyc")
+                seg.emit("_cyc = 0.0")
+                seg.emit("if vm.cycles >= vm.next_tick:")
+                seg.emit("vm.on_tick()", 2)
+                seg.emit("if vm.flag:")
+                seg.emit(
+                    f"_cyc += vm.dispatch_yieldpoint(_cm, st.path_reg, {op[2]!r})",
+                    2,
+                )
         else:  # pragma: no cover - lowering emits only known codes
             raise VMError(f"blockjit cannot compile opcode {c}")
 
@@ -532,6 +581,9 @@ def _namespace(cm: CompiledMethod) -> dict:
         "_trap": _trap,
         "_Fuel": FuelExhaustedError,
         "_CALL": _CALL,
+        # Always bound, whichever yieldpoint style this method's source
+        # uses: persisted sources may predate the current flag setting.
+        "_NI": _NEG_INF,
     }
     for bi, block in enumerate(cm.blocks.values()):
         ns[f"_blk{bi}"] = block
@@ -581,13 +633,16 @@ class JitState:
     ``path_reg``).
     """
 
-    __slots__ = ("cyc", "fuel", "path_reg", "ret_value")
+    __slots__ = ("cyc", "fuel", "path_reg", "ret_value", "gate")
 
     def __init__(self, fuel: int) -> None:
         self.cyc = 0.0
         self.fuel = fuel
         self.path_reg = 0
         self.ret_value = 0
+        # Countdown-yieldpoint trigger threshold (see the OP_YIELD
+        # template in _MethodCodegen._gen_op).
+        self.gate = _NEG_INF
 
 
 def execute_blockjit(vm, fuel: int) -> int:
@@ -609,6 +664,7 @@ def execute_blockjit(vm, fuel: int) -> int:
     vm.guest_stack = stack
     regs = frame.regs
     st = JitState(fuel)
+    st.gate = _NEG_INF if vm.flag else vm.next_tick
     entries = main_cm.jit_entries
     if entries is None:
         entries = ensure_jit(main_cm)

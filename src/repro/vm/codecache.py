@@ -33,6 +33,7 @@ from typing import Dict, Iterable, Optional, Tuple
 from repro.bytecode.disasm import format_instr, format_terminator
 from repro.bytecode.method import Method, Program
 from repro.profiling.edges import EdgeProfile
+from repro.util.flags import samplefast_enabled
 from repro.util.rng import stable_hash
 from repro.vm.costs import CostModel
 from repro.vm.interpreter import CompiledMethod
@@ -44,7 +45,11 @@ DEFAULT_BOUND = 2048
 # (``jit_source``) so warm runs skip codegen; per-process closures
 # (``jit_entries``) are dropped on pickle and rebuilt lazily.  Cache
 # keys also gained a resolved ``fuse`` field (previously always None).
-_FORMAT = 2
+# Format 3: keys gained a resolved ``samplefast`` field — the blockjit
+# yieldpoint template (and thus the persisted ``jit_source``) differs
+# between the countdown and legacy datapaths (DESIGN.md §10), and a key
+# must never conflate the two.
+_FORMAT = 3
 
 
 # -- fingerprints -----------------------------------------------------------
@@ -130,6 +135,7 @@ def optimize_key(
     costs: CostModel,
     edge_profile: Optional[EdgeProfile],
     fuse: Optional[bool] = None,
+    samplefast: Optional[bool] = None,
 ) -> tuple:
     return (
         "opt",
@@ -142,6 +148,7 @@ def optimize_key(
         fingerprint_costs(costs),
         fingerprint_profile(edge_profile),
         fuse,
+        samplefast_enabled(samplefast),
     )
 
 
@@ -150,6 +157,7 @@ def baseline_key(
     version: int,
     costs: CostModel,
     fuse: Optional[bool] = None,
+    samplefast: Optional[bool] = None,
 ) -> tuple:
     return (
         "base",
@@ -157,6 +165,7 @@ def baseline_key(
         version,
         fingerprint_costs(costs),
         fuse,
+        samplefast_enabled(samplefast),
     )
 
 

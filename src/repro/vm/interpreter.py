@@ -30,6 +30,7 @@ from repro.bytecode.method import Method
 from repro.cfg.dag import PDag
 from repro.errors import FuelExhaustedError, GuestTrapError, VMError
 from repro.profiling.regenerate import PathResolver
+from repro.util.flags import samplefast_enabled
 from repro.vm.costs import CostModel
 
 # Binop kind codes (comparisons are >= _CMP_BASE).
@@ -490,6 +491,18 @@ def execute(vm, fuel: int) -> int:
     path_record = path_profile.record
     binop = _binop
 
+    # Countdown yieldpoints (DESIGN.md §10): mirror the timer state in
+    # locals so the flag-down yieldpoint is local arithmetic plus one
+    # attribute store.  ``vm.cycles`` is still written at every
+    # yieldpoint (the value is bit-identical: the same float add on a
+    # local), so trap/fuel/return paths and tick handlers read exactly
+    # what they always read.  The mirrors are refreshed after the only
+    # two calls that may move them (``on_tick``, ``dispatch_yieldpoint``).
+    fastyield = samplefast_enabled()
+    total = vm.cycles
+    ntick = vm.next_tick
+    flag = vm.flag
+
     main_cm = code.get(vm.main)
     if main_cm is None:
         raise VMError(f"no compiled method for main {vm.main!r}")
@@ -557,12 +570,27 @@ def execute(vm, fuel: int) -> int:
                 elif c == OP_PEPINIT:
                     path_reg = 0
                 elif c == OP_YIELD:
-                    vm.cycles += cyc
-                    cyc = 0.0
-                    if vm.cycles >= vm.next_tick:
-                        vm.on_tick()
-                    if vm.flag:
-                        cyc += vm.dispatch_yieldpoint(cm, path_reg, op[2])
+                    if fastyield:
+                        total += cyc
+                        cyc = 0.0
+                        vm.cycles = total
+                        if flag or total >= ntick:
+                            if total >= ntick:
+                                vm.on_tick()
+                                ntick = vm.next_tick
+                                flag = vm.flag
+                            if flag:
+                                cyc += vm.dispatch_yieldpoint(
+                                    cm, path_reg, op[2]
+                                )
+                                flag = vm.flag
+                    else:
+                        vm.cycles += cyc
+                        cyc = 0.0
+                        if vm.cycles >= vm.next_tick:
+                            vm.on_tick()
+                        if vm.flag:
+                            cyc += vm.dispatch_yieldpoint(cm, path_reg, op[2])
                 elif c == OP_ALOAD:
                     arr = regs[op[3]]
                     idx = regs[op[4]]

@@ -22,6 +22,7 @@ from repro.errors import VMError
 from repro.profiling.callgraph import CallGraphProfile
 from repro.profiling.edges import EdgeProfile
 from repro.profiling.paths import PathProfile
+from repro.util.flags import samplefast_enabled
 from repro.util.rng import DeterministicRng
 from repro.vm.blockjit import blockjit_enabled, execute_blockjit
 from repro.vm.costs import CostModel
@@ -121,6 +122,20 @@ class VirtualMachine:
         self.edge_profile = EdgeProfile()
         self.path_profile = PathProfile()
         self.call_graph = CallGraphProfile()
+        # (profile_key, path) -> array of edge-profile arm slots: the
+        # sampler's drain replays a path's branch events as a batched
+        # integer loop (DESIGN.md §10).  Per-VM, like the profiles the
+        # slots index into.
+        self.edge_slot_cache: Dict = {}
+        if samplefast_enabled():
+            # Pre-size dense path tables from each method's Ball-Larus
+            # path count; methods compiled into the run later (adaptive
+            # recompiles) are registered at their first drained sample.
+            for _cm in code.values():
+                if _cm.dag is not None:
+                    self.path_profile.ensure_dense(
+                        _cm.profile_key, _cm.dag.num_paths
+                    )
         self.guest_stack: Optional[list] = None  # set by execute()
 
         # Timer state.  Jitter models the real timer's phase noise relative
@@ -196,7 +211,17 @@ class VirtualMachine:
     def run(self, fuel: int = DEFAULT_FUEL) -> RunResult:
         """Execute main to completion and return the result snapshot."""
         engine = execute_blockjit if self.use_blockjit else execute
-        return_value = engine(self, fuel)
+        try:
+            return_value = engine(self, fuel)
+        finally:
+            # Buffered samplers drain at tick boundaries; the tail of
+            # the final burst drains here, so profiles observed after a
+            # run (even one that trapped) are always complete.
+            sampler = self.sampler
+            if sampler is not None:
+                flush = getattr(sampler, "flush", None)
+                if flush is not None:
+                    flush(self)
         return RunResult(
             return_value=return_value,
             cycles=self.cycles,

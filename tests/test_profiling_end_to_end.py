@@ -171,3 +171,60 @@ def test_random_programs_with_uninterruptible_helpers(seed):
             base_out = (tuple(result.output), result.return_value)
         else:
             assert base_out == (tuple(result.output), result.return_value)
+
+
+# -- PEP(S,K) grid: datapath x engine digest parity --------------------------
+#
+# The samplefast datapath (countdown yieldpoints, flat tables, buffered
+# recording — DESIGN.md §10) and both execution engines must agree
+# bit-for-bit on every observable, across sampling configurations that
+# exercise the state machine differently: timer-based PEP(1,1), short
+# simplified bursts, the committed PEP(64,17), and the regular (stride-
+# between-samples) Arnold-Grove variant.
+
+PEP_GRID = [
+    (1, 1, True),
+    (8, 4, True),
+    (64, 17, True),
+    (16, 5, False),  # regular Arnold-Grove
+]
+
+
+def _grid_cell(monkeypatch, samples, stride, simplified, blockjit_on, fast):
+    import repro.util.flags as flags
+    import repro.vm.blockjit as blockjit
+    from repro.harness.experiment import (
+        config_to_spec,
+        measure_cell,
+        pep_config,
+    )
+
+    monkeypatch.setenv(blockjit.ENV_DISABLE, "1" if blockjit_on else "0")
+    monkeypatch.setenv(flags.SAMPLEFAST_ENV, "1" if fast else "0")
+    spec = config_to_spec(pep_config(samples, stride, simplified=simplified))
+    metrics = measure_cell("compress", 0.5, spec, seed=7)
+    return (
+        metrics["digest"],
+        metrics["cycles"],
+        metrics["ticks"],
+        metrics["samples_taken"],
+        metrics["strides_skipped"],
+    )
+
+
+@pytest.mark.parametrize("samples,stride,simplified", PEP_GRID)
+def test_pep_grid_datapath_engine_parity(
+    samples, stride, simplified, monkeypatch
+):
+    cells = {
+        (engine, fast): _grid_cell(
+            monkeypatch, samples, stride, simplified, engine, fast
+        )
+        for engine in (True, False)
+        for fast in (True, False)
+    }
+    reference = cells[(True, True)]
+    mismatched = {
+        key: cell for key, cell in cells.items() if cell != reference
+    }
+    assert not mismatched, f"diverged from blockjit+samplefast: {mismatched}"

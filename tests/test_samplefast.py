@@ -1,0 +1,181 @@
+"""Samplefast datapath parity and flat-profile-table semantics.
+
+The low-overhead sampling datapath (DESIGN.md §10) — countdown
+yieldpoints, dense profile tables, buffered sample recording — must be
+observationally invisible: every digest, cycle count, tick count, and
+HealthReport is bit-identical with ``REPRO_SAMPLEFAST=0`` (the legacy
+sample-at-a-time datapath) and ``=1``.  These tests pin that equivalence
+across the workload suite and exercise the flat tables' dict-shaped API
+directly.
+"""
+
+import pytest
+
+import repro.util.flags as flags
+from repro.bytecode.method import BranchRef
+from repro.profiling.edges import EdgeProfile
+from repro.profiling.paths import DENSE_PATH_CAP, PathProfile
+from repro.workloads.suite import benchmark_suite
+
+from tests.test_adaptive_system import hot_loop_program
+
+ALL_WORKLOADS = [w.name for w in benchmark_suite()]
+
+
+# -- end-to-end datapath parity ---------------------------------------------
+
+
+def _cell(workload: str, monkeypatch, fast: bool, scale: float = 0.5):
+    from repro.harness.experiment import (
+        config_to_spec,
+        measure_cell,
+        pep_config,
+    )
+
+    monkeypatch.setenv(flags.SAMPLEFAST_ENV, "1" if fast else "0")
+    spec = config_to_spec(pep_config(64, 17))
+    metrics = measure_cell(workload, scale, spec, seed=7)
+    return (
+        metrics["digest"],
+        metrics["cycles"],
+        metrics["ticks"],
+        metrics["samples_taken"],
+        metrics["strides_skipped"],
+    )
+
+
+@pytest.mark.parametrize("workload", ALL_WORKLOADS)
+def test_workload_datapath_parity(workload, monkeypatch):
+    """Fast and legacy datapaths are bit-identical on every workload."""
+    legacy = _cell(workload, monkeypatch, fast=False)
+    fast = _cell(workload, monkeypatch, fast=True)
+    assert fast == legacy
+
+
+def test_fault_injection_parity(monkeypatch):
+    """Resilient runs delegate to the legacy per-sample datapath, so
+    fault sequences, HealthReports, and profiles match exactly."""
+    from repro import api
+    from repro.persist import edge_profile_to_dict, path_profile_to_dict
+    from repro.resilience import FaultPlan
+
+    program = hot_loop_program(4000)
+
+    def run(fast):
+        monkeypatch.setenv(flags.SAMPLEFAST_ENV, "1" if fast else "0")
+        plan = FaultPlan(
+            {"sample": 0.2, "path-reconstruct": 0.2, "path-table": 0.2},
+            seed=9,
+        )
+        return api.profile(
+            program, samples=16, stride=5, ticks=150, fault_plan=plan
+        )
+
+    fast, legacy = run(True), run(False)
+    assert fast.health == legacy.health
+    assert fast.result.cycles == legacy.result.cycles
+    assert fast.result.output == legacy.result.output
+    assert path_profile_to_dict(fast.paths) == path_profile_to_dict(
+        legacy.paths
+    )
+    assert edge_profile_to_dict(fast.edges) == edge_profile_to_dict(
+        legacy.edges
+    )
+
+
+# -- flat path tables --------------------------------------------------------
+
+
+def test_dense_path_table_matches_dict_semantics():
+    dense = PathProfile()
+    dense.ensure_dense("m#v1", 8)
+    sparse = PathProfile()
+    for path, count in [(0, 1.0), (3, 2.0), (0, 1.0), (7, 5.0)]:
+        dense.record("m#v1", path, count)
+        sparse.record("m#v1", path, count)
+    assert sorted(dense.items()) == sorted(sparse.items())
+    assert dense.frequency("m#v1", 0) == 2.0
+    assert dense.method_paths("m#v1") == sparse.method_paths("m#v1")
+    assert dense.total_samples() == sparse.total_samples()
+    assert dense.distinct_paths() == sparse.distinct_paths()
+
+
+def test_dense_table_is_lazy_and_respects_cap():
+    profile = PathProfile()
+    profile.ensure_dense("big#v1", DENSE_PATH_CAP + 1)  # stays sparse
+    profile.ensure_dense("small#v1", 4)
+    # Registration alone creates no method entries: an untouched method
+    # must stay invisible to items()/digests.
+    assert list(profile.items()) == []
+    assert len(profile) == 0
+    profile.record("small#v1", 2, 1.0)
+    profile.record("big#v1", 123456, 1.0)
+    assert profile.frequency("small#v1", 2) == 1.0
+    assert profile.frequency("big#v1", 123456) == 1.0
+
+
+def test_dense_table_demotes_on_irregular_counts():
+    profile = PathProfile()
+    profile.ensure_dense("m#v1", 4)
+    profile.record("m#v1", 1, 1.0)
+    profile.record("m#v1", 1, 0.5)  # non-integral -> dict fallback
+    profile.record("m#v1", 99, 1.0)  # out of range for the dense size
+    assert profile.frequency("m#v1", 1) == 1.5
+    assert profile.frequency("m#v1", 99) == 1.0
+    assert profile.total_samples() == 2.5
+
+
+def test_merge_and_copy_across_representations():
+    a = PathProfile()
+    a.ensure_dense("m#v1", 4)
+    a.record("m#v1", 1, 2.0)
+    b = PathProfile()  # plain sparse profile
+    b.record("m#v1", 1, 3.0)
+    b.record("m#v1", 3, 1.0)
+    a.merge(b)
+    assert a.frequency("m#v1", 1) == 5.0
+    assert a.frequency("m#v1", 3) == 1.0
+    clone = a.copy()
+    clone.record("m#v1", 1, 1.0)
+    assert a.frequency("m#v1", 1) == 5.0  # copies do not alias
+    clone.clear()
+    assert clone.total_samples() == 0.0
+    clone.record("m#v1", 2, 1.0)  # dense registration survives clear()
+    assert clone.frequency("m#v1", 2) == 1.0
+
+
+# -- flat edge tables --------------------------------------------------------
+
+
+def test_edge_slot_recording_matches_record():
+    events = [
+        (BranchRef("m", 0), True),
+        (BranchRef("m", 1), False),
+        (BranchRef("m", 0), True),
+        (BranchRef("n", 2), False),
+    ]
+    direct = EdgeProfile()
+    slotted = EdgeProfile()
+    for branch, taken in events:
+        direct.record(branch, taken, 2.0)
+    slots = [slotted.slot_for(branch, taken) for branch, taken in events]
+    slotted.record_slots(slots, 2.0)
+    assert dict(direct.items()) == dict(slotted.items())
+    assert direct.total_executions() == slotted.total_executions()
+
+
+def test_edge_profile_copy_flip_restrict_preserve_counts():
+    profile = EdgeProfile()
+    left, right = BranchRef("m", 0), BranchRef("m", 1)
+    profile.record(left, True, 3.0)
+    profile.record(left, False, 1.0)
+    profile.record(right, True, 2.0)
+    clone = profile.copy()
+    clone.record(left, True, 1.0)
+    assert profile.arm_count(left, True) == 3.0
+    flipped = profile.flipped()
+    assert flipped.arm_count(left, True) == 1.0
+    assert flipped.arm_count(left, False) == 3.0
+    restricted = profile.restricted_to([right])
+    assert list(restricted.branches()) == [right]
+    assert restricted.arm_count(right, True) == 2.0

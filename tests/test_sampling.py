@@ -113,6 +113,70 @@ def test_regular_ag_strides_between_samples():
     ]
 
 
+def test_regular_ag_initial_skip_then_stride_between():
+    """Regular AG: the rotation skip composes with between-sample strides."""
+    vm = FakeVM()
+    sampler = make_sampler(2, 3, simplified=False)
+    sampler.on_tick(vm)  # rotation 0: no initial skip
+    assert drive(sampler, vm, 5) == [
+        "sample", "stride", "stride", "sample", "idle",
+    ]
+    sampler.on_tick(vm)  # rotation 1: one initial skip first
+    assert drive(sampler, vm, 6) == [
+        "stride", "sample", "stride", "stride", "sample", "idle",
+    ]
+
+
+def test_regular_ag_tick_during_draining_burst():
+    """A tick landing between two regular-AG samples must not restart the
+    burst or advance the rotation."""
+    vm = FakeVM()
+    sampler = make_sampler(3, 2, simplified=False)
+    sampler.on_tick(vm)  # rotation 0: no initial skip
+    assert drive(sampler, vm, 2) == ["sample", "stride"]
+    sampler.on_tick(vm)  # lands mid-burst, in the STRIDING state
+    assert drive(sampler, vm, 4) == ["sample", "stride", "sample", "idle"]
+    # The overlapping tick did not consume a rotation step: the next
+    # fresh burst uses rotation 1 (one initial skip).
+    sampler.on_tick(vm)
+    assert drive(sampler, vm, 2) == ["stride", "sample"]
+
+
+def test_regular_ag_reset_mid_burst():
+    vm = FakeVM()
+    sampler = make_sampler(4, 3, simplified=False)
+    sampler.on_tick(vm)
+    assert drive(sampler, vm, 2) == ["sample", "stride"]
+    sampler.reset()
+    vm.flag = False
+    sampler.on_tick(vm)  # rotation restarted at 0: sample immediately
+    assert vm.flag
+    assert drive(sampler, vm, 6) == [
+        "sample", "stride", "stride", "sample", "stride", "stride",
+    ]
+
+
+def test_reset_keeps_buffered_samples():
+    """reset() restarts the state machine but never loses taken samples.
+
+    With the buffered (samplefast) datapath the sample sits in the ring
+    buffer until a drain; with the legacy datapath it was recorded on
+    the spot.  Either way it must survive a reset.
+    """
+    program = counting_program(50)
+    costs = CostModel()
+    code = compile_simple(program, mode="pep", costs=costs)
+    cm = next(c for c in code.values() if c.resolver is not None)
+    sampler = make_sampler(4, 1)
+    vm = VirtualMachine(code, program.main, costs=costs, sampler=sampler)
+    sampler.on_tick(vm)
+    sampler.on_yieldpoint(vm, cm, 0, True)
+    sampler.reset()
+    sampler.flush(vm)
+    assert vm.path_profile.total_samples() == 1.0
+    assert vm.path_profile.frequency(cm.profile_key, 0) == 1.0
+
+
 def test_burst_survives_overlapping_tick():
     """A tick landing mid-burst must not restart the burst."""
     vm = FakeVM()
