@@ -12,9 +12,16 @@ Usage::
     python scripts/plot_bench_history.py                # append to bench_figures.txt
     python scripts/plot_bench_history.py --stdout       # print only
     python scripts/plot_bench_history.py --history H --out F
+    python scripts/plot_bench_history.py --check-trend  # alert mode
 
-The script has no dependencies and never fails the build: a missing or
-partially corrupt history renders whatever lines are usable.
+``--check-trend`` is the sampling-overhead trend alert for CI: it exits
+non-zero (and prints a GitHub ``::warning::`` annotation) when the last
+``--window`` history entries show a strictly monotonic climb in
+``sampling_wall_overhead`` — each run a little slower than the previous
+one, the shape a per-PR regression gate with a fixed tolerance never
+catches.  Rendering mode has no dependencies and never fails the build:
+a missing or partially corrupt history renders whatever lines are
+usable.
 """
 
 from __future__ import annotations
@@ -72,6 +79,7 @@ def render_table(entries: list) -> str:
         ("norm", lambda e: _fmt(e.get("normalized_interp_rate"), ".3f")),
         ("blockjit", lambda e: _fmt(e.get("blockjit_speedup"), ".2f")),
         ("sampling", lambda e: _fmt(e.get("sampling_wall_overhead"), ".2f")),
+        ("superblk", lambda e: _fmt(e.get("superblock_speedup"), ".2f")),
         ("cache", lambda e: _fmt(e.get("cache_speedup"), ".1f")),
         ("memo", lambda e: _fmt(e.get("memo_speedup"), ".1f")),
         ("par", lambda e: _fmt(e.get("parallel_speedup"), ".2f")),
@@ -136,6 +144,52 @@ def render(entries: list) -> str:
     return "\n".join(parts)
 
 
+DEFAULT_TREND_WINDOW = 4
+
+
+def check_trend(entries: list, window: int = DEFAULT_TREND_WINDOW) -> int:
+    """Alert on a monotonic ``sampling_wall_overhead`` climb.
+
+    Looks at the last ``window`` history entries carrying a numeric
+    overhead.  A strictly increasing run across all of them means every
+    recent PR made sampling a little slower — individually inside any
+    per-PR tolerance, collectively a regression.  Needs at least three
+    usable points to call a trend (two points is a delta, not a slope).
+    Returns the process exit code: 0 quiet, 1 alert.
+    """
+    usable = [
+        (entry, entry["sampling_wall_overhead"])
+        for entry in entries
+        if isinstance(entry.get("sampling_wall_overhead"), (int, float))
+    ]
+    recent = usable[-window:]
+    if len(recent) < 3:
+        print(
+            f"plot_bench_history: trend check skipped — only "
+            f"{len(recent)} usable entries (needs >= 3)"
+        )
+        return 0
+    values = [value for _, value in recent]
+    climbing = all(b > a for a, b in zip(values, values[1:]))
+    trail = " -> ".join(f"{value:.3f}" for value in values)
+    if not climbing:
+        print(
+            f"plot_bench_history: sampling overhead trend OK over the "
+            f"last {len(recent)} runs ({trail})"
+        )
+        return 0
+    shas = ", ".join(_sha7(entry) for entry, _ in recent)
+    message = (
+        f"sampling_wall_overhead climbed monotonically over the last "
+        f"{len(recent)} bench runs ({trail}; commits {shas}) — each step "
+        "may pass the per-PR gate, but the trend is a creeping regression"
+    )
+    # GitHub Actions annotation; harmless noise anywhere else.
+    print(f"::warning file=BENCH_history.jsonl::{message}")
+    print(f"plot_bench_history: TREND ALERT — {message}")
+    return 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -153,7 +207,23 @@ def main(argv=None) -> int:
         action="store_true",
         help="print only; do not touch the figures file",
     )
+    parser.add_argument(
+        "--check-trend",
+        action="store_true",
+        help="exit nonzero when recent sampling overheads climb "
+        "monotonically (no rendering)",
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=DEFAULT_TREND_WINDOW,
+        help="entries the trend check looks back over "
+        f"(default: {DEFAULT_TREND_WINDOW})",
+    )
     args = parser.parse_args(argv)
+
+    if args.check_trend:
+        return check_trend(load_history(args.history), max(args.window, 1))
 
     text = render(load_history(args.history))
     print(text)

@@ -24,7 +24,8 @@ from array import array
 from typing import List, Optional
 
 from repro.errors import PathReconstructionError, ReproError
-from repro.util.flags import samplefast_enabled
+from repro.profiling.edges import numpy_available
+from repro.util.flags import numpy_drain_enabled, samplefast_enabled
 from repro.vm.interpreter import CompiledMethod
 from repro.vm.runtime import VirtualMachine
 
@@ -103,6 +104,7 @@ class ArnoldGroveSampler:
         "_samples_left",
         "_rotation",
         "_fast",
+        "_np_drain",
         "_between",
         "_buf_cm",
         "_buf_path",
@@ -130,6 +132,11 @@ class ArnoldGroveSampler:
         # and drain in batches; REPRO_SAMPLEFAST=0 keeps the original
         # sample-at-a-time recording.  Resolved once at construction.
         self._fast = samplefast_enabled()
+        # Batch the drain's edge-slot updates through NumPy when it is
+        # importable (REPRO_NUMPY_DRAIN=0 keeps the pure-Python loop as
+        # the gated reference).  Bit-identical either way: counts are
+        # integer-valued floats, so add order cannot matter.
+        self._np_drain = numpy_available() and numpy_drain_enabled()
         self._between = not config.simplified and config.stride > 1
         # Run-length-encoded sample buffer: parallel lists of
         # (method, path, repeat count).  Hot loops sample the same path
@@ -429,6 +436,14 @@ class ArnoldGroveSampler:
         slot_cache = vm.edge_slot_cache
         slot_cache_get = slot_cache.get
         record_slots = edge_profile.record_slots
+        # Resolution (slot allocation + path recording) stays sequential
+        # in entry order — it is what assigns slot indices, and the path
+        # profile is a dict/dense-array hybrid with its own ordering.
+        # Only the edge-slot accumulation batches: either the reference
+        # loop per entry, or one NumPy scatter-add over all entries
+        # (taken after resolution, since slot_for may grow the array).
+        np_drain = self._np_drain
+        pending: List = []
         for (cm, path_reg), k in agg.items():
             profile_key = cm.profile_key
             count = float(k)
@@ -444,7 +459,12 @@ class ArnoldGroveSampler:
                 )
                 slot_cache[ckey] = slots
             path_profile.record(profile_key, path_reg, count)
-            record_slots(slots, count)
+            if np_drain:
+                pending.append((slots, count))
+            else:
+                record_slots(slots, count)
+        if pending:
+            edge_profile.record_slot_batches(pending)
 
 
 def make_sampler(

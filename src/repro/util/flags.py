@@ -24,6 +24,26 @@ SAMPLEFAST_ENV = "REPRO_SAMPLEFAST"
 #: the environment.  ``None`` means "consult the environment".
 SAMPLEFAST: Optional[bool] = None
 
+SUPERBLOCK_ENV = "REPRO_SUPERBLOCK"
+
+#: Module override for path-guided superblock formation (DESIGN.md §11).
+SUPERBLOCK: Optional[bool] = None
+
+NUMPY_DRAIN_ENV = "REPRO_NUMPY_DRAIN"
+
+#: Module override for the NumPy-backed batch edge-profile drain.  The
+#: pure-Python loop stays available as the gated reference; both produce
+#: bit-identical profiles (sample counts are integer-valued floats, so
+#: the adds are exact in any order).
+NUMPY_DRAIN: Optional[bool] = None
+
+
+def _env_enabled(name: str, default: bool = True) -> bool:
+    env = os.environ.get(name)
+    if env is not None and env.strip():
+        return env.strip().lower() not in ("0", "off", "no", "false")
+    return default
+
 
 def samplefast_enabled(explicit: Optional[bool] = None) -> bool:
     """Resolve the effective sampling-fast-path setting.
@@ -37,7 +57,30 @@ def samplefast_enabled(explicit: Optional[bool] = None) -> bool:
         return bool(explicit)
     if SAMPLEFAST is not None:
         return bool(SAMPLEFAST)
-    env = os.environ.get(SAMPLEFAST_ENV)
-    if env is not None and env.strip():
-        return env.strip().lower() not in ("0", "off", "no", "false")
-    return True
+    return _env_enabled(SAMPLEFAST_ENV)
+
+
+def superblock_enabled(explicit: Optional[bool] = None) -> bool:
+    """Resolve the effective superblock-formation setting.
+
+    ``REPRO_SUPERBLOCK=0`` is the kill switch: the adaptive controller
+    stops forming superblocks and persisted superblock sources are not
+    re-installed.  Both settings are bit-identical in every observable
+    (``tests/test_superblock.py`` proves it); the flag only moves wall
+    clock.
+    """
+    if explicit is not None:
+        return bool(explicit)
+    if SUPERBLOCK is not None:
+        return bool(SUPERBLOCK)
+    return _env_enabled(SUPERBLOCK_ENV)
+
+
+def numpy_drain_enabled(explicit: Optional[bool] = None) -> bool:
+    """Resolve the NumPy batch-drain setting (effective only if NumPy
+    actually imports; callers gate on availability separately)."""
+    if explicit is not None:
+        return bool(explicit)
+    if NUMPY_DRAIN is not None:
+        return bool(NUMPY_DRAIN)
+    return _env_enabled(NUMPY_DRAIN_ENV)

@@ -619,6 +619,13 @@ def ensure_jit(cm: CompiledMethod) -> dict:
         for ip in _entry_ips(block):
             entries[(block.label, ip)] = ns[f"_f{bi}_{ip}"]
     cm.jit_entries = entries
+    if cm.sb_source is not None:
+        # A pickled superblock (codecache warm run, engine-pool worker)
+        # rides along; revalidate + rebind it over the fresh entries.
+        # Imported lazily: superblock builds on this module.
+        from repro.vm.superblock import reinstall_persisted
+
+        reinstall_persisted(cm, entries)
     return entries
 
 

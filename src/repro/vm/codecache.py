@@ -49,7 +49,13 @@ DEFAULT_BOUND = 2048
 # yieldpoint template (and thus the persisted ``jit_source``) differs
 # between the countdown and legacy datapaths (DESIGN.md §10), and a key
 # must never conflate the two.
-_FORMAT = 3
+# Format 4: CompiledMethod pickles additionally carry the path-guided
+# superblock artefacts (``sb_source``/``sb_path``/``sb_fingerprint``,
+# DESIGN.md §11).  The fingerprint ties the trace to this version's
+# P-DAG and the resolved samplefast flag; ``ensure_jit`` revalidates it
+# on warm loads, so stale superblock advice misses cleanly while the
+# plain blockjit entry still hits.
+_FORMAT = 4
 
 
 # -- fingerprints -----------------------------------------------------------

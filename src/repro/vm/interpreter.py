@@ -125,6 +125,9 @@ def resolve_fuse(fuse: Optional[bool] = None) -> bool:
 
 _MAX_ARRAY = 1 << 24
 
+#: Countdown-gate sentinel: "the sample flag is up, take every slow path".
+_NEG_INF = float("-inf")
+
 
 class LoweredBlock:
     """A lowered basic block: op tuples plus a linked terminator tuple."""
@@ -162,6 +165,10 @@ class CompiledMethod:
         "profile_key",
         "jit_source",
         "jit_entries",
+        "sb_source",
+        "sb_path",
+        "sb_fingerprint",
+        "sb_entry",
     )
 
     def __init__(
@@ -190,10 +197,19 @@ class CompiledMethod:
         # per-process and rebuilt lazily.
         self.jit_source: Optional[str] = None
         self.jit_entries: Optional[dict] = None
+        # Superblock artefacts (see repro.vm.superblock): the generated
+        # trace source, its path number, and a fingerprint tying both to
+        # this version's P-DAG + codegen flags; the installed entry
+        # function is per-process and rebuilt lazily like jit_entries.
+        self.sb_source: Optional[str] = None
+        self.sb_path: Optional[int] = None
+        self.sb_fingerprint: Optional[str] = None
+        self.sb_entry = None
 
     def __getstate__(self) -> dict:
         state = {slot: getattr(self, slot) for slot in self.__slots__}
         state["jit_entries"] = None  # closures don't pickle; rebuilt lazily
+        state["sb_entry"] = None
         return state
 
     def __setstate__(self, state: dict) -> None:
@@ -491,17 +507,21 @@ def execute(vm, fuel: int) -> int:
     path_record = path_profile.record
     binop = _binop
 
-    # Countdown yieldpoints (DESIGN.md §10): mirror the timer state in
-    # locals so the flag-down yieldpoint is local arithmetic plus one
+    # Countdown yieldpoints (DESIGN.md §10/§11): mirror the timer state
+    # in locals so the flag-down yieldpoint is local arithmetic plus one
     # attribute store.  ``vm.cycles`` is still written at every
     # yieldpoint (the value is bit-identical: the same float add on a
     # local), so trap/fuel/return paths and tick handlers read exactly
-    # what they always read.  The mirrors are refreshed after the only
-    # two calls that may move them (``on_tick``, ``dispatch_yieldpoint``).
+    # what they always read.  ``gate`` folds the flag into the countdown
+    # (the blockjit ``st.gate`` trick): -inf while the sample flag is up
+    # — every yieldpoint takes the slow path — else the next tick
+    # boundary, making the flag-down hot path a single compare.  The
+    # mirrors are refreshed after the only two calls that may move them
+    # (``on_tick``, the yieldpoint slow path).
     fastyield = samplefast_enabled()
     total = vm.cycles
     ntick = vm.next_tick
-    flag = vm.flag
+    gate = _NEG_INF if vm.flag else ntick
 
     main_cm = code.get(vm.main)
     if main_cm is None:
@@ -574,16 +594,27 @@ def execute(vm, fuel: int) -> int:
                         total += cyc
                         cyc = 0.0
                         vm.cycles = total
-                        if flag or total >= ntick:
+                        if total >= gate:
                             if total >= ntick:
                                 vm.on_tick()
                                 ntick = vm.next_tick
-                                flag = vm.flag
-                            if flag:
-                                cyc += vm.dispatch_yieldpoint(
-                                    cm, path_reg, op[2]
-                                )
-                                flag = vm.flag
+                            if vm.flag:
+                                # Mid-burst yieldpoints skip the method-
+                                # sample bookkeeping dispatch would
+                                # re-skip anyway; the direct sampler call
+                                # adds the identical cost (0.0 + x == x).
+                                smp = vm.sampler
+                                if vm._tick_method_sampled and smp is not None:
+                                    cyc += smp.on_yieldpoint(
+                                        vm, cm, path_reg, op[2]
+                                    )
+                                else:
+                                    cyc += vm.dispatch_yieldpoint(
+                                        cm, path_reg, op[2]
+                                    )
+                                gate = _NEG_INF if vm.flag else ntick
+                            else:
+                                gate = ntick
                     else:
                         vm.cycles += cyc
                         cyc = 0.0

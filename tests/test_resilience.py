@@ -112,6 +112,7 @@ def test_fault_sites_cover_the_hot_layers():
         "path-reconstruct",
         "path-table",
         "advice-load",
+        "superblock-compile",
     }
 
 
