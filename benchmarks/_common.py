@@ -50,6 +50,19 @@ def engine_jobs() -> int:
     return (os.cpu_count() or 1) if jobs <= 0 else jobs
 
 
+def sweep_journal_dir() -> str:
+    """Directory for per-sweep journals (``REPRO_SWEEP_JOURNAL``).
+
+    Empty (the default) disables journaling.  When set, every figure
+    sweep appends crash-safe receipts to ``<dir>/<fingerprint>.jsonl``,
+    so an interrupted ``pytest benchmarks/`` session resumes its sweeps
+    instead of recomputing them (the journal fingerprint keys on the
+    exact cell list, so scale or config changes never reuse stale
+    receipts).
+    """
+    return os.environ.get("REPRO_SWEEP_JOURNAL", "")
+
+
 def sweep_normalized(configs) -> Dict[str, Dict[str, float]]:
     """Run (suite x configs) through the engine; returns normalized cycles.
 
@@ -58,14 +71,23 @@ def sweep_normalized(configs) -> Dict[str, Dict[str, float]]:
     ``engine_jobs() == 1`` this runs serially in-process; either way the
     numbers are byte-identical (the engine's determinism contract).
     """
-    from repro.engine import ExperimentPool, make_sweep_cells
+    from repro.engine import ExperimentPool, make_sweep_cells, sweep_fingerprint
     from repro.harness.experiment import config_to_spec
 
     specs = [config_to_spec(config) for config in configs]
     cells = make_sweep_cells(
         [w.name for w in suite()], specs, scale=bench_scale()
     )
-    results = ExperimentPool(jobs=engine_jobs(), strict=True).run(cells)
+    resume_path = None
+    journal_dir = sweep_journal_dir()
+    if journal_dir:
+        os.makedirs(journal_dir, exist_ok=True)
+        resume_path = os.path.join(
+            journal_dir, f"{sweep_fingerprint(cells)[:16]}.jsonl"
+        )
+    results = ExperimentPool(jobs=engine_jobs(), strict=True).run(
+        cells, resume_path=resume_path
+    )
     normalized: Dict[str, Dict[str, float]] = {}
     for result in results:
         normalized.setdefault(result.config, {})[result.workload] = (

@@ -151,6 +151,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
     from repro.engine import ExperimentPool, make_sweep_cells
     from repro.harness.experiment import config_to_spec
+    from repro.resilience import FaultPlan
     from repro.workloads.suite import benchmark_suite, get_workload
 
     if args.workloads:
@@ -158,6 +159,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     else:
         names = [w.name for w in benchmark_suite()]
     configs = [_parse_sweep_config(t) for t in (args.configs or ["base", "pep:64,17"])]
+    fault_plan = None
+    if args.inject:
+        fault_plan = FaultPlan.parse(args.inject, seed=args.fault_seed)
     cells = make_sweep_cells(
         names,
         [config_to_spec(c) for c in configs],
@@ -170,9 +174,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         timeout=args.timeout,
         retries=args.retries,
         persist_path=args.codecache,
+        fault_plan=fault_plan,
+        max_worker_restarts=args.max_worker_restarts,
     )
     start = time.perf_counter()
-    results = pool.run(cells)
+    results = pool.run(cells, resume_path=args.resume)
     elapsed = time.perf_counter() - start
 
     if args.json:
@@ -181,6 +187,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             "scale": args.scale,
             "seed": args.seed,
             "wall_seconds": elapsed,
+            "health": pool.health.to_dict(),
             "cells": [
                 {
                     "index": r.index,
@@ -214,6 +221,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             failed += 1
             print(f"{r.workload:12s} {r.config:24s} {r.trial:5d} "
                   f"FAILED[{r.error_type}]: {r.error}")
+    if pool.health.supervision_events() or pool.health.resumed_cells:
+        print()
+        print("sweep health:")
+        for line in pool.health.summary().splitlines():
+            print(f"  {line}")
     if failed:
         print(f"# {failed} cell(s) failed", file=sys.stderr)
     return 0 if failed == 0 else 1
@@ -304,6 +316,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_p.add_argument("--retries", type=int, default=1)
     sweep_p.add_argument("--seed", type=int, default=0)
+    sweep_p.add_argument(
+        "--resume",
+        metavar="JOURNAL",
+        default=None,
+        help="append checksummed per-cell receipts to this sweep journal "
+        "and, if it already holds receipts for this exact cell list, "
+        "skip those cells (crash-safe interrupt/resume)",
+    )
+    sweep_p.add_argument(
+        "--max-worker-restarts",
+        type=int,
+        default=16,
+        help="total worker respawns allowed before the sweep degrades "
+        "remaining cells to errors (default 16)",
+    )
+    sweep_p.add_argument(
+        "--inject",
+        action="append",
+        default=[],
+        metavar="SITE=PROB[:MAX]",
+        help="inject deterministic engine faults, e.g. --inject "
+        "worker-crash=0.5 --inject worker-hang=1.0:1 (sites: "
+        "worker-crash, worker-hang, receipt-write, cache-merge)",
+    )
+    sweep_p.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for the fault-injection RNG streams (default 0)",
+    )
     sweep_p.add_argument("--json", action="store_true")
     sweep_p.add_argument(
         "--codecache",

@@ -1,10 +1,13 @@
 """The parallel experiment engine.
 
 Every figure in the paper is an embarrassingly parallel sweep over
-(configuration x workload x trial) cells; this package shards those cells
-across worker processes with deterministic per-cell seeding, per-cell
-timeout + retry, and an ordered result merge, so a sweep's output is
-byte-identical to the serial run that the rest of the harness performs.
+(configuration x workload x trial) cells; this package dispatches those
+cells to *supervised* long-lived worker processes with deterministic
+per-cell seeding, per-cell timeout + retry + crash recovery, journaled
+receipts for crash-safe resume, and an ordered result merge, so a
+sweep's output is byte-identical to the serial run that the rest of the
+harness performs — even when workers are killed mid-cell or the sweep
+itself is interrupted and resumed (DESIGN.md section 12).
 """
 
 from repro.engine.cells import (
@@ -14,13 +17,19 @@ from repro.engine.cells import (
     make_sweep_cells,
     run_cell,
 )
+from repro.engine.journal import SweepJournal, sweep_fingerprint
 from repro.engine.pool import ExperimentPool
+from repro.engine.supervisor import SweepSupervisor, run_cell_budgeted
 
 __all__ = [
     "CellResult",
     "CellSpec",
     "ExperimentPool",
+    "SweepJournal",
+    "SweepSupervisor",
     "cell_seed",
     "make_sweep_cells",
     "run_cell",
+    "run_cell_budgeted",
+    "sweep_fingerprint",
 ]

@@ -145,6 +145,7 @@ def make_sweep_cells(
     master_seed: int = 0,
     tick_jitter: float = DEFAULT_TICK_JITTER,
     collect_profiles: bool = False,
+    include_compile_cycles: bool = False,
 ) -> List[CellSpec]:
     """Enumerate the (workload x config x trial) cells of a sweep.
 
@@ -168,6 +169,7 @@ def make_sweep_cells(
                         seed=cell_seed(master_seed, index),
                         tick_jitter=tick_jitter if trial > 0 else 0.0,
                         collect_profiles=collect_profiles,
+                        include_compile_cycles=include_compile_cycles,
                     )
                 )
                 index += 1

@@ -1,0 +1,282 @@
+"""The append-only sweep journal: crash-safe receipts for completed cells.
+
+A long sweep must survive being interrupted — by Ctrl-C, by the machine
+going away, or by the sweep process itself being killed.  The journal is
+the recovery substrate: every completed cell appends one self-contained,
+checksummed *receipt* line (JSONL), flushed and fsynced, so at any
+instant the file on disk describes exactly the cells that finished.  A
+resumed sweep (``ExperimentPool.run(..., resume_path=...)`` /
+``repro sweep --resume``) loads the receipts, skips the journaled cells,
+and re-runs only the rest — and because cells are deterministic, the
+merged output is byte-identical to an uninterrupted sweep.
+
+The format reuses the ``persist.py`` posture for untrusted input: every
+line carries a :func:`~repro.persist.payload_checksum` over its payload,
+the first line is a header binding the journal to one specific cell list
+(a fingerprint over every :class:`~repro.engine.cells.CellSpec`), and a
+line that fails to parse or verify — e.g. the torn final line of a
+killed sweep, or a line corrupted by the ``receipt-write`` fault site —
+is *dropped and counted as a recovery*, never trusted.  Appends cannot
+be atomic the way ``persist._atomic_write_json`` is (the whole point is
+not rewriting the file per cell), so validation-on-read carries the
+entire corruption burden.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.cells import CellResult, CellSpec
+from repro.errors import JournalError
+from repro.persist import payload_checksum
+
+_FORMAT = "pep-sweep-journal/1"
+
+
+def sweep_fingerprint(cells: Sequence[CellSpec]) -> str:
+    """A digest over every cell spec: the identity of one sweep.
+
+    Two sweeps with the same workloads, configs, scale, trials, seeds,
+    and flags — and only those — share a fingerprint, which is what lets
+    resume refuse a journal recorded for a *different* sweep instead of
+    silently skipping the wrong cells.
+    """
+    payload = {
+        "format": _FORMAT,
+        "cells": [
+            {
+                "index": spec.index,
+                "workload": spec.workload,
+                "scale": spec.scale,
+                "config": spec.config_spec,
+                "trial": spec.trial,
+                "seed": spec.seed,
+                "tick_jitter": spec.tick_jitter,
+                "collect_profiles": spec.collect_profiles,
+                "include_compile_cycles": spec.include_compile_cycles,
+            }
+            for spec in sorted(cells, key=lambda s: s.index)
+        ],
+    }
+    return payload_checksum(payload)
+
+
+def _receipt_payload(result: CellResult) -> Dict:
+    return {
+        "kind": "receipt",
+        "index": result.index,
+        "workload": result.workload,
+        "config": result.config,
+        "trial": result.trial,
+        "metrics": result.metrics,
+        "error": result.error,
+        "error_type": result.error_type,
+        "attempts": result.attempts,
+        "duration": result.duration,
+    }
+
+
+def _result_from_payload(payload: Dict) -> CellResult:
+    return CellResult(
+        index=int(payload["index"]),
+        workload=payload["workload"],
+        config=payload["config"],
+        trial=int(payload["trial"]),
+        metrics=payload["metrics"],
+        error=payload["error"],
+        error_type=payload["error_type"],
+        attempts=int(payload["attempts"]),
+        duration=float(payload["duration"]),
+    )
+
+
+def _encode_line(payload: Dict) -> str:
+    data = dict(payload)
+    data["checksum"] = payload_checksum(payload)
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def _decode_line(line: str) -> Dict:
+    """Parse and verify one journal line; raises :class:`JournalError`."""
+    try:
+        data = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise JournalError(f"unparseable journal line: {exc}") from None
+    if not isinstance(data, dict):
+        raise JournalError("journal line is not an object")
+    recorded = data.pop("checksum", None)
+    if recorded is None:
+        raise JournalError("journal line has no checksum")
+    actual = payload_checksum(data)
+    if recorded != actual:
+        raise JournalError(
+            f"journal line checksum mismatch (records {recorded[:12]}..., "
+            f"payload hashes to {actual[:12]}...)"
+        )
+    return data
+
+
+class SweepJournal:
+    """One sweep's append-only receipt file.
+
+    ``load`` is the read side (resume); ``open`` + ``append_receipt`` the
+    write side.  Opening an existing journal validates its header against
+    this sweep's fingerprint and appends after the existing receipts, so
+    interrupt/resume cycles keep extending one file.
+    """
+
+    def __init__(self, path: str, fingerprint: str) -> None:
+        self.path = path
+        self.fingerprint = fingerprint
+        self._fh = None
+
+    # -- read side -----------------------------------------------------------
+
+    @classmethod
+    def load(
+        cls, path: str, fingerprint: str
+    ) -> Tuple[Dict[int, CellResult], List[str]]:
+        """Read receipts for the sweep identified by ``fingerprint``.
+
+        Returns ``(results by cell index, recovery notes)``.  A missing
+        file is an empty journal; a journal whose header names a
+        different sweep raises :class:`~repro.errors.JournalError`; a
+        corrupt *line* (torn tail write, injected ``receipt-write``
+        fault, bit rot) is skipped and reported as a recovery — its cell
+        simply re-runs.
+        """
+        if not os.path.exists(path):
+            return {}, []
+        results: Dict[int, CellResult] = {}
+        recoveries: List[str] = []
+        header_seen = False
+        with open(path) as fh:
+            for lineno, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    data = _decode_line(line)
+                except JournalError as exc:
+                    if not header_seen:
+                        raise JournalError(
+                            f"{path}: corrupt journal header: {exc}"
+                        ) from None
+                    recoveries.append(f"line {lineno} dropped: {exc}")
+                    continue
+                if not header_seen:
+                    if (
+                        data.get("kind") != "header"
+                        or data.get("format") != _FORMAT
+                    ):
+                        raise JournalError(
+                            f"{path}: not a {_FORMAT} journal"
+                        )
+                    if data.get("fingerprint") != fingerprint:
+                        raise JournalError(
+                            f"{path}: journal was recorded for a different "
+                            f"sweep (cell list fingerprint mismatch); "
+                            f"refusing to resume from it"
+                        )
+                    header_seen = True
+                    continue
+                if data.get("kind") != "receipt":
+                    recoveries.append(
+                        f"line {lineno} dropped: unknown kind "
+                        f"{data.get('kind')!r}"
+                    )
+                    continue
+                try:
+                    result = _result_from_payload(data)
+                except (KeyError, TypeError, ValueError) as exc:
+                    recoveries.append(
+                        f"line {lineno} dropped: malformed receipt: {exc!r}"
+                    )
+                    continue
+                # Later receipts win: a cell journaled twice (a resume
+                # race, or a recovered corrupt line re-run) is harmless
+                # because cells are deterministic.
+                results[result.index] = result
+        return results, recoveries
+
+    # -- write side ----------------------------------------------------------
+
+    def open(self, meta: Optional[Dict] = None) -> None:
+        """Open for appending, writing the header if the file is new.
+
+        An existing file must carry a matching header (``load`` performs
+        full validation; here we only re-check the binding so a caller
+        cannot accidentally append receipts for sweep A to sweep B's
+        journal).
+        """
+        exists = os.path.exists(self.path) and os.path.getsize(self.path) > 0
+        if exists:
+            with open(self.path) as fh:
+                first = fh.readline().strip()
+            try:
+                header = _decode_line(first)
+            except JournalError as exc:
+                raise JournalError(
+                    f"{self.path}: corrupt journal header: {exc}"
+                ) from None
+            if header.get("fingerprint") != self.fingerprint:
+                raise JournalError(
+                    f"{self.path}: journal belongs to a different sweep; "
+                    f"refusing to append to it"
+                )
+        directory = os.path.dirname(os.path.abspath(self.path))
+        if directory and not os.path.isdir(directory):
+            os.makedirs(directory, exist_ok=True)
+        self._fh = open(self.path, "a")
+        if not exists:
+            payload = {
+                "kind": "header",
+                "format": _FORMAT,
+                "fingerprint": self.fingerprint,
+            }
+            if meta:
+                payload["meta"] = meta
+            self._write_line(_encode_line(payload))
+
+    def append_receipt(
+        self, result: CellResult, corrupt: bool = False
+    ) -> None:
+        """Append one cell's receipt, flushed and fsynced.
+
+        ``corrupt=True`` is the ``receipt-write`` fault site's hook: it
+        writes a torn line (the checksummed line minus its tail) and then
+        raises, modelling a crash mid-append — the sweep carries on with
+        the in-memory result, and a later resume drops the bad line and
+        re-runs just that cell.
+        """
+        if self._fh is None:
+            raise JournalError("journal is not open for appending")
+        line = _encode_line(_receipt_payload(result))
+        if corrupt:
+            self._write_line(line[: max(len(line) // 2, 1)])
+            raise JournalError(
+                f"injected receipt-write fault for cell #{result.index}"
+            )
+        self._write_line(line)
+
+    def _write_line(self, text: str) -> None:
+        self._fh.write(text + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "open" if self._fh is not None else "closed"
+        return f"<SweepJournal {self.path} ({state})>"

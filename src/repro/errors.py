@@ -117,6 +117,24 @@ class CellExecutionError(EngineError):
     """An experiment cell failed in a worker (and in the serial retry)."""
 
 
+class WorkerCrashError(EngineError):
+    """A worker process died (SIGKILL, OOM, segfault) with a cell in flight."""
+
+
+class CellQuarantinedError(EngineError):
+    """A cell killed its worker repeatedly and was quarantined.
+
+    The supervisor retries a cell whose worker crashed or hung, but a
+    cell that takes a worker down twice is presumed to be the cause and
+    is turned into an error :class:`~repro.engine.cells.CellResult`
+    instead of looping the restart machinery forever.
+    """
+
+
+class JournalError(EngineError):
+    """A sweep journal could not be written, read, or matched to a sweep."""
+
+
 class StatsError(ReproError, ValueError):
     """A statistics helper was given unusable input (empty, non-positive).
 

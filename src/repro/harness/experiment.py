@@ -304,6 +304,11 @@ def measure_cell(
         "health": (
             result.health.summary() if result.health is not None else None
         ),
+        # Structured form of the same report, so sweep-level aggregation
+        # (SweepHealth.absorb_cell_health) doesn't have to parse text.
+        "health_dict": (
+            result.health.to_dict() if result.health is not None else None
+        ),
         "digest": digest,
     }
     if collect_profiles:

@@ -19,20 +19,25 @@ See DESIGN.md section 7 for the model.
 """
 
 from repro.resilience.faults import (
+    ENGINE_FAULT_SITES,
     FAULT_SITES,
     FaultInjector,
     FaultPlan,
     FaultSpec,
+    plan_site_faults,
 )
-from repro.resilience.health import HealthReport
+from repro.resilience.health import HealthReport, SweepHealth
 from repro.resilience.manager import DegradationPolicy, ResilienceManager
 
 __all__ = [
+    "ENGINE_FAULT_SITES",
     "FAULT_SITES",
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",
     "HealthReport",
+    "SweepHealth",
     "DegradationPolicy",
     "ResilienceManager",
+    "plan_site_faults",
 ]

@@ -40,6 +40,35 @@ FAULT_SITES = (
     "path-table",
     "advice-load",
     "superblock-compile",
+    "worker-crash",
+    "worker-hang",
+    "receipt-write",
+    "cache-merge",
+)
+
+#: Engine-level sites exercised by the supervised sweep engine
+#: (DESIGN.md section 12).  Unlike the VM-level sites above — which draw
+#: from a per-site stream advanced once per check — engine sites are
+#: *keyed*: whether a (cell, attempt) fires is a pure function of
+#: (site, key, plan seed), so the injected fault schedule is identical
+#: no matter how the parallel supervisor interleaves workers.
+#:
+#: * ``worker-crash``  — the worker SIGKILLs itself mid-cell (keyed by
+#:   ``"<cell index>:<attempt>"``); the supervisor must detect the death,
+#:   respawn, and retry the cell.
+#: * ``worker-hang``   — the worker stalls past its per-cell wall budget
+#:   (same keying); the supervisor must kill and respawn it.
+#: * ``receipt-write`` — the journal append for a cell's receipt fails
+#:   after writing a corrupt line (keyed by ``"<cell index>"``); the
+#:   sweep continues, the resume machinery must skip the bad line.
+#: * ``cache-merge``   — the compilation-cache entries a worker ships
+#:   back at shutdown are dropped (keyed by ``"worker-<id>"``); the
+#:   sweep stays correct, only cache warmth is lost.
+ENGINE_FAULT_SITES = (
+    "worker-crash",
+    "worker-hang",
+    "receipt-write",
+    "cache-merge",
 )
 
 
@@ -124,6 +153,36 @@ class FaultPlan:
 
     def __repr__(self) -> str:
         return f"<{self.describe()}>"
+
+
+def plan_site_faults(
+    plan: Optional["FaultPlan"], site: str, keys: Sequence[str]
+) -> frozenset:
+    """Deterministically choose which ``keys`` fire at an engine site.
+
+    Each key's decision is an independent draw from an RNG seeded by
+    (site, key, plan seed) — one draw per key, no shared stream — so the
+    result is a pure function of the plan and the key set, independent of
+    worker scheduling.  ``max_faults`` truncates in the *given key
+    order*: budgets are allocated over potential fault slots
+    deterministically, not over the (schedule-dependent) chronological
+    firing order.
+    """
+    if plan is None:
+        return frozenset()
+    spec = plan.specs.get(site)
+    if spec is None:
+        return frozenset()
+    fired = []
+    for key in keys:
+        rng = DeterministicRng.from_name(
+            f"engine-fault:{site}:{key}", salt=plan.seed
+        )
+        if rng.chance(spec.probability):
+            fired.append(key)
+    if spec.max_faults is not None:
+        fired = fired[: spec.max_faults]
+    return frozenset(fired)
 
 
 class FaultInjector:

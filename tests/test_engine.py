@@ -156,11 +156,11 @@ def test_parallel_sweep_persists_worker_cache_entries(tmp_path):
 
 def test_timeout_outcomes_are_retried_then_reported():
     # Exercise the merge/retry path directly with a synthetic timeout
-    # outcome (real shard timeouts need a wall-clock budget blowout).
+    # outcome (real budget blowouts are covered in test_supervisor.py).
     pool = ExperimentPool(jobs=1, retries=0)
     cells = [_bad_cell()]
     outcomes = [
-        (0, None, "shard exceeded budget", CellTimeoutError.__name__, 5.0)
+        (0, None, "cell exceeded budget", CellTimeoutError.__name__, 5.0)
     ]
     (result,) = pool._merge(cells, outcomes)
     assert not result.ok
@@ -171,3 +171,83 @@ def test_timeout_outcomes_are_retried_then_reported():
     (retried,) = pool_retry._merge(cells, outcomes)
     assert retried.attempts == 2
     assert retried.error_type == "WorkloadError"
+
+
+def test_slow_cell_times_out_then_recovers_via_retry():
+    # Regression for the timeout path: a slow first attempt must produce
+    # a CellTimeoutError outcome, and the cell must then recover via
+    # retry.  The injected worker-hang fault (one firing) stalls attempt
+    # 1 past the 3s per-cell budget; the supervisor kills the worker and
+    # the retry completes with the canonical bytes.
+    from repro.resilience import FaultPlan
+
+    cells = make_sweep_cells(
+        ["compress"], [config_to_spec(BASE)], scale=_SCALE
+    )
+    canonical = run_cell(cells[0])
+    plan = FaultPlan.parse(["worker-hang=1.0:1"], seed=0)
+    pool = ExperimentPool(
+        jobs=2, strict=True, timeout=3.0, fault_plan=plan, backoff_base=0.01
+    )
+    (result,) = pool.run(cells)
+    assert result.ok
+    assert result.attempts == 2  # timed out once, recovered on retry
+    assert result.metrics["digest"] == canonical["digest"]
+    assert pool.health.worker_hangs == 1
+
+
+def test_merge_retries_enforce_the_per_cell_budget():
+    # Regression: in-parent retries used to re-run a timed-out cell with
+    # *no* budget at all.  With a timeout configured, the retry runs in
+    # a budgeted child and a still-slow cell times out again instead of
+    # stalling the sweep.
+    (slow,) = make_sweep_cells(["compress"], [config_to_spec(BASE)], scale=12.0)
+    pool = ExperimentPool(jobs=1, retries=1, timeout=0.1)
+    outcomes = [
+        (
+            slow.index,
+            None,
+            "cell exceeded budget",
+            CellTimeoutError.__name__,
+            0.1,
+        )
+    ]
+    (result,) = pool._merge([slow], outcomes)
+    assert not result.ok
+    assert result.attempts == 2
+    assert result.error_type == CellTimeoutError.__name__
+    assert "retry" in result.error
+
+
+def test_keyboard_interrupt_is_not_swallowed(monkeypatch):
+    # Regression: the engine used to fold KeyboardInterrupt/SystemExit
+    # into error payloads, so Ctrl-C kept the sweep grinding on.  Both
+    # must propagate out of a serial run.
+    import repro.engine.pool as pool_module
+
+    for exc_type in (KeyboardInterrupt, SystemExit):
+        def _boom(spec, _exc=exc_type):
+            raise _exc()
+
+        monkeypatch.setattr(pool_module, "run_cell", _boom)
+        cells = make_sweep_cells(
+            ["compress"], [config_to_spec(BASE)], scale=_SCALE
+        )
+        with pytest.raises(exc_type):
+            ExperimentPool(jobs=1).run(cells)
+
+
+def test_make_sweep_cells_propagates_include_compile_cycles():
+    # Regression: CellSpec accepted include_compile_cycles but the
+    # enumerator never set it, so sweeps could not measure compile cost.
+    plain = make_sweep_cells(_WORKLOADS, _SPECS, scale=_SCALE)
+    assert all(not c.include_compile_cycles for c in plain)
+    compiled = make_sweep_cells(
+        _WORKLOADS, _SPECS, scale=_SCALE, include_compile_cycles=True
+    )
+    assert all(c.include_compile_cycles for c in compiled)
+    # The flag is part of the sweep identity (journals must not confuse
+    # the two sweeps).
+    from repro.engine import sweep_fingerprint
+
+    assert sweep_fingerprint(plain) != sweep_fingerprint(compiled)

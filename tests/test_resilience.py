@@ -113,7 +113,18 @@ def test_fault_sites_cover_the_hot_layers():
         "path-table",
         "advice-load",
         "superblock-compile",
+        # Engine-level sites (supervised sweep engine, DESIGN.md §12).
+        "worker-crash",
+        "worker-hang",
+        "receipt-write",
+        "cache-merge",
     }
+
+
+def test_engine_fault_sites_are_a_subset_of_fault_sites():
+    from repro.resilience import ENGINE_FAULT_SITES
+
+    assert set(ENGINE_FAULT_SITES) <= set(FAULT_SITES)
 
 
 # -- HealthReport --------------------------------------------------------------
