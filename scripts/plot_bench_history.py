@@ -14,10 +14,11 @@ Usage::
     python scripts/plot_bench_history.py --history H --out F
     python scripts/plot_bench_history.py --check-trend  # alert mode
 
-``--check-trend`` is the sampling-overhead trend alert for CI: it exits
+``--check-trend`` is the creeping-regression alert for CI: it exits
 non-zero (and prints a GitHub ``::warning::`` annotation) when the last
 ``--window`` history entries show a strictly monotonic climb in
-``sampling_wall_overhead`` — each run a little slower than the previous
+``sampling_wall_overhead`` or a strictly monotonic decline in
+``tracefast_speedup`` — each run a little worse than the previous
 one, the shape a per-PR regression gate with a fixed tolerance never
 catches.  Rendering mode has no dependencies and never fails the build:
 a missing or partially corrupt history renders whatever lines are
@@ -80,6 +81,7 @@ def render_table(entries: list) -> str:
         ("blockjit", lambda e: _fmt(e.get("blockjit_speedup"), ".2f")),
         ("sampling", lambda e: _fmt(e.get("sampling_wall_overhead"), ".2f")),
         ("superblk", lambda e: _fmt(e.get("superblock_speedup"), ".2f")),
+        ("tracefast", lambda e: _fmt(e.get("tracefast_speedup"), ".2f")),
         ("cache", lambda e: _fmt(e.get("cache_speedup"), ".1f")),
         ("memo", lambda e: _fmt(e.get("memo_speedup"), ".1f")),
         ("par", lambda e: _fmt(e.get("parallel_speedup"), ".2f")),
@@ -147,40 +149,43 @@ def render(entries: list) -> str:
 DEFAULT_TREND_WINDOW = 4
 
 
-def check_trend(entries: list, window: int = DEFAULT_TREND_WINDOW) -> int:
-    """Alert on a monotonic ``sampling_wall_overhead`` climb.
+def _check_series(
+    entries: list, key: str, window: int, bad_direction: int
+) -> int:
+    """Alert when ``key`` moves monotonically in the bad direction.
 
-    Looks at the last ``window`` history entries carrying a numeric
-    overhead.  A strictly increasing run across all of them means every
-    recent PR made sampling a little slower — individually inside any
-    per-PR tolerance, collectively a regression.  Needs at least three
-    usable points to call a trend (two points is a delta, not a slope).
-    Returns the process exit code: 0 quiet, 1 alert.
+    ``bad_direction`` is +1 for metrics where climbing is the regression
+    (overheads) and -1 where shrinking is (speedups).  Needs at least
+    three usable points to call a trend (two points is a delta, not a
+    slope).  Returns 0 quiet, 1 alert.
     """
     usable = [
-        (entry, entry["sampling_wall_overhead"])
+        (entry, entry[key])
         for entry in entries
-        if isinstance(entry.get("sampling_wall_overhead"), (int, float))
+        if isinstance(entry.get(key), (int, float))
     ]
     recent = usable[-window:]
     if len(recent) < 3:
         print(
-            f"plot_bench_history: trend check skipped — only "
+            f"plot_bench_history: {key} trend check skipped — only "
             f"{len(recent)} usable entries (needs >= 3)"
         )
         return 0
     values = [value for _, value in recent]
-    climbing = all(b > a for a, b in zip(values, values[1:]))
+    regressing = all(
+        (b - a) * bad_direction > 0 for a, b in zip(values, values[1:])
+    )
     trail = " -> ".join(f"{value:.3f}" for value in values)
-    if not climbing:
+    if not regressing:
         print(
-            f"plot_bench_history: sampling overhead trend OK over the "
+            f"plot_bench_history: {key} trend OK over the "
             f"last {len(recent)} runs ({trail})"
         )
         return 0
     shas = ", ".join(_sha7(entry) for entry, _ in recent)
+    verb = "climbed" if bad_direction > 0 else "declined"
     message = (
-        f"sampling_wall_overhead climbed monotonically over the last "
+        f"{key} {verb} monotonically over the last "
         f"{len(recent)} bench runs ({trail}; commits {shas}) — each step "
         "may pass the per-PR gate, but the trend is a creeping regression"
     )
@@ -188,6 +193,23 @@ def check_trend(entries: list, window: int = DEFAULT_TREND_WINDOW) -> int:
     print(f"::warning file=BENCH_history.jsonl::{message}")
     print(f"plot_bench_history: TREND ALERT — {message}")
     return 1
+
+
+def check_trend(entries: list, window: int = DEFAULT_TREND_WINDOW) -> int:
+    """Alert on creeping regressions across recent bench runs.
+
+    Two monitored series: ``sampling_wall_overhead`` climbing (every
+    recent PR made sampling a little slower) and ``tracefast_speedup``
+    declining (every recent PR shaved a little off the trace backend's
+    win).  Either alone trips the alert.
+    """
+    rc_sampling = _check_series(
+        entries, "sampling_wall_overhead", window, bad_direction=1
+    )
+    rc_tracefast = _check_series(
+        entries, "tracefast_speedup", window, bad_direction=-1
+    )
+    return rc_sampling or rc_tracefast
 
 
 def main(argv=None) -> int:

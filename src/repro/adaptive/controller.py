@@ -22,7 +22,7 @@ from repro.sampling.arnold_grove import (
 )
 from repro.adaptive.baseline import compile_baseline
 from repro.adaptive.optimizing import optimize_method
-from repro.util.flags import superblock_enabled
+from repro.util.flags import superblock_enabled, tracefast_enabled
 from repro.vm.costs import CostModel
 from repro.vm.superblock import find_dominant_path, install_superblock
 from repro.vm.interpreter import CompiledMethod
@@ -100,6 +100,10 @@ class AdaptiveSystem:
         # per compiled version; recompiles get a fresh key).
         self._sb_attempted: set = set()
         self._superblock = superblock_enabled(self.config.superblock)
+        # Backend for promoted traces (DESIGN.md §13): the whole-method
+        # tracefast tier when enabled, the classic §11 superblock
+        # otherwise.  Resolved once so one run uses one tier.
+        self._tracefast = tracefast_enabled()
         self._bootstrap()
 
     def _bootstrap(self) -> None:
@@ -273,13 +277,30 @@ class AdaptiveSystem:
                 "staying on plain blockjit",
             )
             return
+        # The tracefast backend has its own fault site; firing degrades
+        # to plain blockjit (NOT to the superblock backend — the method
+        # simply stays unpromoted).  The check only runs when the
+        # tracefast tier is selected, so REPRO_TRACEFAST=0 runs are
+        # byte-identical to PR-5 even under a tracefast-compile plan.
+        if (
+            self._tracefast
+            and injector is not None
+            and injector.should_fire("tracefast-compile", key)
+        ):
+            resilience.health.record_degradation(
+                "tracefast-degrade",
+                f"{source_name}: injected tracefast-compile fault; "
+                "staying on plain blockjit",
+            )
+            return
+        tier = "tracefast" if self._tracefast else "superblock"
         try:
-            installed = install_superblock(cm, path)
+            installed = install_superblock(cm, path, self.costs)
         except Exception as exc:
             if resilience is not None:
                 resilience.health.record_degradation(
-                    "superblock-degrade",
-                    f"{source_name}: superblock compile failed ({exc}); "
+                    f"{tier}-degrade",
+                    f"{source_name}: {tier} compile failed ({exc}); "
                     "staying on plain blockjit",
                 )
                 return

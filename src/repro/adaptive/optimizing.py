@@ -114,7 +114,7 @@ def optimize_method(
         hit = cache.get(key)
         if hit is not None:
             if superblock_advice is not None:
-                _apply_superblock_advice(hit[0], superblock_advice)
+                _apply_superblock_advice(hit[0], superblock_advice, costs)
             return hit
 
     clone = method.clone()
@@ -159,12 +159,12 @@ def optimize_method(
     if cache is not None and key is not None:
         cache.put(key, cm, compile_cycles)
     if superblock_advice is not None:
-        _apply_superblock_advice(cm, superblock_advice)
+        _apply_superblock_advice(cm, superblock_advice, costs)
     return cm, compile_cycles
 
 
 def _apply_superblock_advice(
-    cm: CompiledMethod, advice: Tuple[int, int]
+    cm: CompiledMethod, advice: Tuple[int, int], costs=None
 ) -> None:
     """Carry a hot trace across a recompile; silent no-op on mismatch.
 
@@ -184,6 +184,6 @@ def _apply_superblock_advice(
     if dag_fingerprint(cm.dag) != dag_fp:
         return
     try:
-        install_superblock(cm, path_number)
+        install_superblock(cm, path_number, costs)
     except Exception:
         pass

@@ -33,6 +33,9 @@ from repro.util.rng import DeterministicRng
 #: * ``advice-load``        — reading a replay-advice file
 #: * ``superblock-compile`` — path-guided superblock formation; firing
 #:   degrades the method to plain blockjit (observables unchanged)
+#: * ``tracefast-compile``  — whole-method tracefast codegen (DESIGN.md
+#:   §13); firing degrades the method to plain blockjit — not to the
+#:   superblock backend — with a ``tracefast-degrade`` health entry
 FAULT_SITES = (
     "opt-compile",
     "sample",
@@ -40,6 +43,7 @@ FAULT_SITES = (
     "path-table",
     "advice-load",
     "superblock-compile",
+    "tracefast-compile",
     "worker-crash",
     "worker-hang",
     "receipt-write",

@@ -37,6 +37,24 @@ NUMPY_DRAIN_ENV = "REPRO_NUMPY_DRAIN"
 #: the adds are exact in any order).
 NUMPY_DRAIN: Optional[bool] = None
 
+TRACEFAST_ENV = "REPRO_TRACEFAST"
+
+#: Module override for the slotted-frame trace backend (DESIGN.md §13):
+#: when a dominant path is promoted, compile the *whole method* into one
+#: generated function (registers promoted to locals across every block,
+#: token dispatch instead of the segment trampoline, batched cost/PEP
+#: chains) instead of the single-trace ``_sb`` function of §11.
+TRACEFAST: Optional[bool] = None
+
+TRACEFAST_AOT_ENV = "REPRO_TRACEFAST_AOT"
+
+#: Module override for the optional AOT sub-tier of the tracefast
+#: backend: when a supported ahead-of-time compiler (Cython) and a C
+#: toolchain are importable, the hottest generated trace modules are
+#: compiled to native extensions keyed by their content fingerprints.
+#: Inert (pure-Python tracefast) when the toolchain is missing.
+TRACEFAST_AOT: Optional[bool] = None
+
 
 def _env_enabled(name: str, default: bool = True) -> bool:
     env = os.environ.get(name)
@@ -74,6 +92,34 @@ def superblock_enabled(explicit: Optional[bool] = None) -> bool:
     if SUPERBLOCK is not None:
         return bool(SUPERBLOCK)
     return _env_enabled(SUPERBLOCK_ENV)
+
+
+def tracefast_enabled(explicit: Optional[bool] = None) -> bool:
+    """Resolve the effective tracefast-backend setting.
+
+    ``REPRO_TRACEFAST=0`` is the kill switch: promoted methods fall back
+    to the PR-5 single-trace superblock backend and persisted tracefast
+    sources are not re-installed (their fingerprints embed the resolved
+    flag, so a flag flip misses cleanly).  Both backends are bit-identical
+    in every observable (``tests/test_tracefast.py`` proves it); the flag
+    only moves wall clock.
+    """
+    if explicit is not None:
+        return bool(explicit)
+    if TRACEFAST is not None:
+        return bool(TRACEFAST)
+    return _env_enabled(TRACEFAST_ENV)
+
+
+def tracefast_aot_enabled(explicit: Optional[bool] = None) -> bool:
+    """Resolve the AOT sub-tier setting (effective only if a toolchain
+    actually imports; ``repro.vm.aot`` gates on availability separately).
+    ``REPRO_TRACEFAST_AOT=0`` forces the pure-Python tracefast path."""
+    if explicit is not None:
+        return bool(explicit)
+    if TRACEFAST_AOT is not None:
+        return bool(TRACEFAST_AOT)
+    return _env_enabled(TRACEFAST_AOT_ENV)
 
 
 def numpy_drain_enabled(explicit: Optional[bool] = None) -> bool:

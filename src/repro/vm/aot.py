@@ -1,0 +1,174 @@
+"""Optional AOT sub-tier for tracefast: compile generated traces natively.
+
+When a supported ahead-of-time toolchain is importable — Cython plus a
+working C compiler via setuptools — the whole-method sources generated
+by :mod:`repro.vm.tracefast` are compiled into native extension modules,
+cached on disk keyed by a content fingerprint (the same stable-hash
+addressing the codecache uses), and their entry functions are installed
+in place of the pure-Python ``exec`` closures.
+
+This tier is *strictly an execution strategy*: the compiled module runs
+the byte-for-byte same generated Python semantics (Cython in pure-Python
+language mode), so every observable — cycles, profiles, traps, fuel,
+fault ordering — is identical to the exec path, and
+``tests/test_tracefast.py`` pins that parity.  Consequently the AOT
+setting is NOT part of any cache fingerprint.
+
+Gating, in order:
+
+* ``REPRO_TRACEFAST_AOT=0`` (or the ``flags.TRACEFAST_AOT`` override)
+  forces the pure-Python path;
+* :func:`aot_available` probes the toolchain once per process — no
+  Cython, no compiler, or no setuptools means the tier is inert;
+* any build or import failure at install time returns ``None`` and the
+  caller falls back to ``exec`` (degradation is silent by design: AOT
+  is a wall-clock optimization, never a correctness dependency).
+
+Nothing is ever installed into the environment: builds happen in a
+scratch cache directory (``REPRO_TRACEFAST_AOT_DIR`` or a per-user
+directory under the system temp dir).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import sys
+import tempfile
+from typing import Dict, Optional
+
+from repro.util.rng import stable_hash
+
+#: Probe result memo: None = not probed yet, else bool.
+_AVAILABLE: Optional[bool] = None
+
+#: Per-process memo of loaded AOT modules, keyed by source fingerprint.
+_MODULES: Dict[int, object] = {}
+
+
+def cache_dir() -> str:
+    """The on-disk build cache for compiled trace modules."""
+    configured = os.environ.get("REPRO_TRACEFAST_AOT_DIR")
+    if configured:
+        return configured
+    return os.path.join(
+        tempfile.gettempdir(), f"repro-tracefast-{os.getuid()}"
+    )
+
+
+def aot_available() -> bool:
+    """True when Cython + setuptools + a C compiler all import/probe OK.
+
+    The probe runs once per process and is deliberately conservative:
+    any surprise means "unavailable", never an exception.
+    """
+    global _AVAILABLE
+    if _AVAILABLE is not None:
+        return _AVAILABLE
+    try:
+        import Cython.Build  # noqa: F401
+        import setuptools  # noqa: F401
+        from distutils.ccompiler import new_compiler
+        from distutils.sysconfig import customize_compiler
+
+        compiler = new_compiler()
+        customize_compiler(compiler)
+        _AVAILABLE = True
+    except Exception:
+        _AVAILABLE = False
+    return _AVAILABLE
+
+
+def _module_name(fingerprint: int) -> str:
+    return f"_repro_tf_{fingerprint & 0xFFFFFFFFFFFFFFFF:016x}"
+
+
+def _build_module(source: str, fingerprint: int):
+    """Cythonize ``source`` into the cache dir and import the module.
+
+    Raises on any failure; callers treat every exception as "fall back
+    to exec".  A previously built extension for the same fingerprint is
+    imported directly — builds are content-addressed and reusable across
+    processes.
+    """
+    from Cython.Build import cythonize
+    from setuptools import Extension
+    from setuptools.dist import Distribution
+
+    name = _module_name(fingerprint)
+    root = cache_dir()
+    os.makedirs(root, exist_ok=True)
+
+    def _find_built() -> Optional[str]:
+        for entry in sorted(os.listdir(root)):
+            if entry.startswith(name) and entry.endswith((".so", ".pyd")):
+                return os.path.join(root, entry)
+        return None
+
+    built = _find_built()
+    if built is None:
+        pyx_path = os.path.join(root, f"{name}.py")
+        with open(pyx_path, "w") as fh:
+            # cython: language_level=3 keeps pure-Python semantics.
+            fh.write("# cython: language_level=3\n" + source)
+        extensions = cythonize(
+            [Extension(name, [pyx_path])],
+            quiet=True,
+            build_dir=os.path.join(root, "build"),
+        )
+        dist = Distribution({"name": name, "ext_modules": extensions})
+        cmd = dist.get_command_obj("build_ext")
+        cmd.build_lib = root
+        cmd.build_temp = os.path.join(root, "build")
+        cmd.ensure_finalized()
+        cmd.run()
+        built = _find_built()
+        if built is None:
+            raise RuntimeError(f"no built extension for {name}")
+    spec = importlib.util.spec_from_file_location(name, built)
+    if spec is None or spec.loader is None:
+        raise RuntimeError(f"cannot load built extension {built}")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def load_functions(cm, source: str) -> Optional[Dict[str, object]]:
+    """AOT-load the entry functions for a generated trace source.
+
+    Returns ``{name: function}`` for ``_m`` and every ``_f{bi}_{ip}``
+    wrapper, with the method's namespace objects bound onto the module,
+    or ``None`` when the tier is unavailable or anything fails.
+    """
+    if not aot_available():
+        return None
+    try:
+        # Keyed by content AND method identity: an extension module has
+        # one global dict, so two methods with identical generated
+        # source must not share a module (their namespaces bind
+        # different _cm/_pk/_blk* objects).  blockjit's exec path gets
+        # this isolation for free from per-method namespaces.
+        fingerprint = stable_hash(
+            f"tracefast-aot|{cm.profile_key}|" + source
+        )
+        module = _MODULES.get(fingerprint)
+        if module is None:
+            module = _build_module(source, fingerprint)
+            _MODULES[fingerprint] = module
+        # Bind the same per-method globals blockjit's exec namespace
+        # carries; the compiled functions resolve them as module
+        # globals.
+        from repro.vm.blockjit import _namespace
+
+        for key, value in _namespace(cm).items():
+            setattr(module, key, value)
+        out: Dict[str, object] = {}
+        for name in dir(module):
+            if name == "_m" or name.startswith("_f"):
+                out[name] = getattr(module, name)
+        if "_m" not in out:
+            return None
+        return out
+    except Exception:
+        return None

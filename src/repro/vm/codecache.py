@@ -55,7 +55,13 @@ DEFAULT_BOUND = 2048
 # P-DAG and the resolved samplefast flag; ``ensure_jit`` revalidates it
 # on warm loads, so stale superblock advice misses cleanly while the
 # plain blockjit entry still hits.
-_FORMAT = 4
+# Format 5: the ``sb_*`` slots may now carry whole-method tracefast
+# sources (DESIGN.md §13) and ``sb_fingerprint`` hashes the resolved
+# tracefast flag, so the two trace backends' artefacts never cross.
+# Because format-4 fingerprints were computed without that component, a
+# format-4 cache loaded under format 5 is dropped wholesale (the
+# standard wrong-format path below) rather than partially reused.
+_FORMAT = 5
 
 
 # -- fingerprints -----------------------------------------------------------

@@ -372,18 +372,22 @@ def generate_trace_source(
 
 
 def superblock_fingerprint(cm: CompiledMethod, path_number: int) -> int:
-    """Ties a superblock to this version's P-DAG and codegen flags.
+    """Ties a trace artefact to this version's P-DAG and codegen flags.
 
     The samplefast flag is baked into the emitted yieldpoint template,
     so a source generated under one datapath must never install under
-    the other (mirrors the codecache key's resolved flag).
+    the other (mirrors the codecache key's resolved flag).  The resolved
+    tracefast flag is hashed for the same reason: the §11 superblock and
+    §13 tracefast backends share the ``sb_*`` artefact slots, and a
+    source generated by one backend must never install under the other
+    — a flag flip misses cleanly, exactly like stale advice.
     """
-    from repro.util.flags import samplefast_enabled
+    from repro.util.flags import samplefast_enabled, tracefast_enabled
 
     return stable_hash(
         "superblock|"
         f"{dag_fingerprint(cm.dag)}|{path_number}|"
-        f"{int(samplefast_enabled())}"
+        f"{int(samplefast_enabled())}|tf{int(tracefast_enabled())}"
     )
 
 
@@ -417,15 +421,33 @@ def _install(
     cm.sb_entry = fn
 
 
-def install_superblock(cm: CompiledMethod, path_number: int) -> bool:
+def install_superblock(
+    cm: CompiledMethod, path_number: int, costs=None
+) -> bool:
     """Compile + install the trace for ``path_number``; first-wins.
 
-    Returns True when a superblock is installed (now or previously),
+    Returns True when a trace artefact is installed (now or previously),
     False when the path is not an eligible loop trace.  Charges zero
     virtual cycles and touches no profiles: installation is observable
-    only in wall clock.  Safe mid-run — the superblock is behaviorally
-    identical to entering the head's plain segment.
+    only in wall clock.  Safe mid-run — the installed code is
+    behaviorally identical to entering the head's plain segment.
+
+    This is the tier-selecting front door (DESIGN.md §13): when the
+    tracefast backend is enabled (``REPRO_TRACEFAST``, default on) the
+    promotion compiles the *whole method* through
+    :mod:`repro.vm.tracefast`; otherwise the classic single-trace
+    superblock below is built.  Both backends share the promotion
+    policy, the advice carry-over, and the ``sb_*`` persistence slots.
+    ``costs`` (the run's :class:`~repro.vm.costs.CostModel`) is optional
+    and only unlocks tracefast's exact cost-chain folding — omitting it
+    is always safe, merely slower.
     """
+    from repro.util.flags import tracefast_enabled
+
+    if tracefast_enabled():
+        from repro.vm import tracefast
+
+        return tracefast.install_tracefast(cm, path_number, costs)
     if cm.sb_entry is not None:
         return True
     trace = trace_blocks(cm, path_number)
@@ -465,10 +487,22 @@ def reinstall_persisted(cm: CompiledMethod, entries: dict) -> None:
     ok = False
     if path is not None and cm.dag is not None and cm.sb_source is not None:
         try:
+            # The fingerprint embeds the resolved tracefast flag, so a
+            # match guarantees the stored source was generated by the
+            # currently selected backend — dispatch follows the flag.
             if cm.sb_fingerprint == superblock_fingerprint(cm, path):
                 trace = trace_blocks(cm, path)
                 if trace is not None:
-                    _install(cm, cm.sb_source, trace[0], entries)
+                    from repro.util.flags import tracefast_enabled
+
+                    if tracefast_enabled():
+                        from repro.vm import tracefast
+
+                        tracefast.install_source(
+                            cm, cm.sb_source, trace, entries
+                        )
+                    else:
+                        _install(cm, cm.sb_source, trace[0], entries)
                     ok = True
         except Exception:
             ok = False

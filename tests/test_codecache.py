@@ -233,3 +233,30 @@ def test_save_is_atomic(tmp_path):
     # No stray temp files left behind.
     leftovers = [p for p in os.listdir(tmp_path) if p.endswith(".tmp")]
     assert leftovers == []
+
+
+def test_format4_cache_dropped_wholesale_under_format5(tmp_path):
+    # A cache persisted by the format-4 code (PR 5: superblock sources,
+    # no tracefast component in the fingerprint) must not be partially
+    # reused: format 5 changed what ``sb_fingerprint`` hashes, so every
+    # format-4 entry is untrustworthy and the load drops the whole file.
+    program = counting_program(10)
+    cm, cycles = _compile(program)
+    path = str(tmp_path / "cache.pkl")
+    codecache.GLOBAL.save(path)
+
+    # Rewrite the valid payload as if an old process had saved it.
+    with open(path, "rb") as fh:
+        payload = pickle.load(fh)
+    assert payload["format"] == codecache._FORMAT == 5
+    payload["format"] = 4
+    with open(path, "wb") as fh:
+        pickle.dump(payload, fh)
+
+    fresh = codecache.CompilationCache()
+    assert fresh.load(path) == 0
+    assert len(fresh) == 0
+    # A same-format save/load still round-trips (the drop is about the
+    # version stamp, not the entries).
+    codecache.GLOBAL.save(path)
+    assert fresh.load(path) == len(codecache.GLOBAL)

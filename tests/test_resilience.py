@@ -113,6 +113,7 @@ def test_fault_sites_cover_the_hot_layers():
         "path-table",
         "advice-load",
         "superblock-compile",
+        "tracefast-compile",
         # Engine-level sites (supervised sweep engine, DESIGN.md §12).
         "worker-crash",
         "worker-hang",
