@@ -42,7 +42,7 @@ _SRC = os.path.join(_ROOT, "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
-SCHEMA = 5
+SCHEMA = 6
 REGRESSION_TOLERANCE = 0.25  # fail --check on >25% normalized slowdown
 # Minimum acceptable serial/parallel speedup when the runner actually
 # has cores to parallelize over (generous: contention on loaded CI
@@ -64,6 +64,12 @@ SUPERBLOCK_SPEEDUP_FLOOR = 1.2
 # the classic superblock trace on full runs (DESIGN.md §13: promoted
 # registers, batched/folded cost chains, token-ladder transfers).
 TRACEFAST_SPEEDUP_FLOOR = 1.5
+# Minimum hot-call speedup of PGO layout + dominant-path callee
+# inlining over the same tracefast image with the flags off (DESIGN.md
+# §14): the spliced callee path saves a full interpreter call per
+# guard-passing iteration, which is worth well over 10% on a
+# call-dominated loop.  Full runs only, same flake reasoning as above.
+PGO_SPEEDUP_FLOOR = 1.1
 
 
 # -- calibration ------------------------------------------------------------
@@ -596,6 +602,215 @@ def bench_tracefast(quick: bool) -> dict:
     }
 
 
+# -- profile-guided optimization ---------------------------------------------
+
+
+def _hot_call_program(calls: int, inner: int):
+    """main -> outer's hot loop -> a leaf too big for the static inliner.
+
+    The leaf's *cold* arm carries the long straight-line run, so the
+    method's total instruction count clears the bytecode inliner's
+    ceiling and the call survives into outer's promoted trace — while
+    the *dominant* path is a handful of instructions.  That is the shape
+    dominant-path inlining targets: per-call machinery (trace exit,
+    callee dispatch, token-ladder re-entry) dwarfs the spliced body, so
+    the guarded splice recovers most of each call's cost.
+    """
+    from repro.bytecode.builder import ProgramBuilder
+
+    pb = ProgramBuilder("pgo_hotcall")
+    leaf = pb.function("leaf", ["x"])
+    x = leaf.p("x")
+    acc = leaf.local(0)
+
+    def hot_arm():
+        leaf.assign(acc, x + 1)
+        leaf.ret(acc)
+
+    def cold_arm():
+        leaf.assign(acc, x * 3)
+        for _ in range(32):
+            leaf.assign(acc, acc + x)
+        leaf.ret(acc)
+
+    leaf.if_(x < 1_000_000, hot_arm, cold_arm)
+
+    outer = pb.function("outer", ["n"])
+    n = outer.p("n")
+    total = outer.local(0)
+    outer.for_range(
+        0, inner, 1,
+        lambda i: outer.assign(total, total + outer.call("leaf", i + n)),
+    )
+    outer.ret(total)
+
+    f = pb.function("main")
+    grand = f.local(0)
+    f.for_range(
+        0, calls, 1, lambda i: f.assign(grand, grand + f.call("outer", i))
+    )
+    f.emit(grand)
+    f.ret(grand)
+    return pb.build()
+
+
+def bench_pgo(quick: bool) -> dict:
+    """PGO layout + inlining speedup, plus the probe-placement saving.
+
+    Two measurements (DESIGN.md §14), both against the flag-off twin:
+
+    * An adaptive warmup run over a call-dominated hot loop promotes the
+      caller into a tracefast trace; with ``REPRO_PGO_LAYOUT`` and
+      ``REPRO_PGO_INLINE`` pinned on, the leaf callee's dominant path is
+      spliced into the trace behind an identity guard.  The two final
+      images (flags on / flags off) then run unsampled for the timed
+      best-of-reps; a cycle-parity probe asserts bit-identical virtual
+      cycles, return value and output first — layout and inlining are
+      wall-clock-only transforms, so any cycle drift voids the timing.
+    * The one-shot edges pipeline compiles a workload with
+      ``REPRO_PGO_PROBES`` on and off; the probed image places counters
+      on a spanning-tree complement only, so it both *places* fewer
+      probes and *charges* fewer edge_count cycles for the same
+      reconstructed profile.  That pair of reductions is the metric —
+      this half is arithmetic over the compiled plans, not a timing.
+    """
+    import gc
+
+    from repro.adaptive.controller import AdaptiveConfig, AdaptiveSystem
+    from repro.adaptive.replay import (
+        record_advice,
+        replay_compile,
+        run_iteration,
+    )
+    from repro.sampling.arnold_grove import SamplingConfig
+    from repro.util import flags
+    from repro.util.flags import pgo_enabled, tracefast_enabled
+    from repro.vm import pgo
+    from repro.vm.runtime import VirtualMachine
+    from repro.workloads.suite import get_workload
+
+    if not pgo_enabled() or not tracefast_enabled():
+        return {
+            "workloads": ["pgo_hotcall"],
+            "pgo_installed": False,
+            "note": "REPRO_PGO=0 or REPRO_TRACEFAST=0",
+        }
+
+    calls = 250 if quick else 500
+    reps = 4 if quick else 8
+    program = _hot_call_program(calls=calls, inner=36)
+
+    def pinned(label):
+        flags.TRACEFAST = True
+        flags.PGO = True
+        flags.PGO_LAYOUT = label == "on"
+        flags.PGO_INLINE = label == "on"
+
+    saved = (
+        flags.TRACEFAST, flags.PGO, flags.PGO_LAYOUT, flags.PGO_INLINE,
+        flags.PGO_PROBES,
+    )
+    try:
+        # Warmup: one adaptive run per variant promotes the caller and
+        # (flags on) attaches the inline advice; the final compiled
+        # image is what the timed reps execute, unsampled.
+        images = {}
+        for label in ("on", "off"):
+            pinned(label)
+            config = AdaptiveConfig(
+                pep=SamplingConfig(8, 3), superblock_min_samples=4.0
+            )
+            system = AdaptiveSystem(program, config=config)
+            system.make_vm(tick_interval=400.0).run()
+            images[label] = (system.code, system.costs)
+        engaged = pgo.engagement_summary(images["on"][0])["totals"]
+        if engaged["pgo_inline_sites"] < 1:
+            return {
+                "workloads": ["pgo_hotcall"],
+                "pgo_installed": False,
+                "note": "no inline advice engaged — timing would be vacuous",
+            }
+
+        # Cycle-parity probe (also the warmup of any cold segments).
+        probes = {}
+        for label, (code, costs) in images.items():
+            pinned(label)
+            vm = VirtualMachine(
+                dict(code), program.main, costs=costs, blockjit=True
+            )
+            res = vm.run()
+            probes[label] = (res.cycles, res.return_value, tuple(vm.output))
+        if probes["on"] != probes["off"]:
+            raise AssertionError(f"PGO flags moved bits: {probes}")
+
+        best = {label: float("inf") for label in images}
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            for _ in range(reps):
+                for label, (code, costs) in images.items():
+                    pinned(label)
+                    vm = VirtualMachine(
+                        dict(code), program.main, costs=costs, blockjit=True
+                    )
+                    t0 = time.perf_counter()
+                    vm.run()
+                    best[label] = min(
+                        best[label], time.perf_counter() - t0
+                    )
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+        # Probe-placement saving on the one-shot edges pipeline.
+        probe_program = get_workload("compress").build(1.0 if quick else 2.0)
+        plan_stats = {}
+        for label, enable in (("on", True), ("off", False)):
+            flags.PGO_PROBES = enable
+            advice = record_advice(probe_program, tick_interval=400.0)
+            image = replay_compile(
+                probe_program, advice, instrumentation="edges"
+            )
+            totals = pgo.engagement_summary(image.code)["totals"]
+            plan_stats[label] = {
+                "placed": totals["probes_placed"],
+                "full": totals["probes_full"],
+                "cycles": run_iteration(image).cycles,
+            }
+    finally:
+        (
+            flags.TRACEFAST, flags.PGO, flags.PGO_LAYOUT, flags.PGO_INLINE,
+            flags.PGO_PROBES,
+        ) = saved
+
+    cycles = probes["on"][0]
+    placed = plan_stats["on"]["placed"]
+    # The flag-off twin instruments every arm, so its placement count is
+    # the full baseline (and equals its own full_probes by construction).
+    full = plan_stats["off"]["placed"]
+    off_cycles = plan_stats["off"]["cycles"]
+    return {
+        "workloads": ["pgo_hotcall"],
+        "calls": calls,
+        "reps": reps,
+        "pgo_installed": True,
+        "pgo_inline_sites": engaged["pgo_inline_sites"],
+        "cycles": cycles,
+        "pgo_off_vcycles_per_sec": cycles / best["off"],
+        "pgo_on_vcycles_per_sec": cycles / best["on"],
+        "pgo_speedup": best["off"] / best["on"],
+        "probe_workload": "compress",
+        "probes_placed": placed,
+        "probes_full": full,
+        "probe_reduction": 1.0 - placed / full if full else 0.0,
+        "probe_cycles_saved_frac": (
+            (off_cycles - plan_stats["on"]["cycles"]) / off_cycles
+            if off_cycles
+            else 0.0
+        ),
+    }
+
+
 # -- lowering and the compilation cache -------------------------------------
 
 
@@ -801,6 +1016,8 @@ def append_history(report: dict, path: str) -> None:
         "tracefast_speedup": metrics.get("tracefast", {}).get(
             "tracefast_speedup"
         ),
+        "pgo_speedup": metrics.get("pgo", {}).get("pgo_speedup"),
+        "probe_reduction": metrics.get("pgo", {}).get("probe_reduction"),
         "cache_speedup": metrics.get("lowering", {}).get("cache_speedup"),
         "memo_speedup": metrics.get("reconstruction", {}).get("memo_speedup"),
         "parallel_speedup": sweep.get("parallel_speedup"),
@@ -885,7 +1102,7 @@ def main(argv=None) -> int:
         "--stage",
         action="append",
         choices=[
-            "interpreter", "sampling", "superblock", "tracefast",
+            "interpreter", "sampling", "superblock", "tracefast", "pgo",
             "lowering", "reconstruction", "sweep",
         ],
         default=None,
@@ -909,6 +1126,7 @@ def main(argv=None) -> int:
         ("sampling", lambda: bench_sampling(args.quick)),
         ("superblock", lambda: bench_superblock(args.quick)),
         ("tracefast", lambda: bench_tracefast(args.quick)),
+        ("pgo", lambda: bench_pgo(args.quick)),
         ("lowering", lambda: bench_lowering(args.quick)),
         ("reconstruction", lambda: bench_reconstruction(args.quick)),
         ("sweep", lambda: bench_sweep(args.quick, args.jobs)),
@@ -950,7 +1168,8 @@ def main(argv=None) -> int:
     if partial:
         for name in args.stage:
             stage_metrics = metrics.get(name, {})
-            for key in ("superblock_speedup", "tracefast_speedup"):
+            for key in ("superblock_speedup", "tracefast_speedup",
+                        "pgo_speedup"):
                 if key in stage_metrics:
                     print(f"bench_perf: {key} {stage_metrics[key]:.2f}x")
         return 0
@@ -959,6 +1178,7 @@ def main(argv=None) -> int:
     sampling = metrics["sampling"]
     superblock = metrics["superblock"]
     tracefast = metrics["tracefast"]
+    pgo = metrics["pgo"]
     sb_text = (
         f"{superblock['superblock_speedup']:.2f}x"
         if superblock.get("superblock_installed")
@@ -969,13 +1189,19 @@ def main(argv=None) -> int:
         if tracefast.get("tracefast_installed")
         else "n/a"
     )
+    pgo_text = (
+        f"{pgo['pgo_speedup']:.2f}x "
+        f"(probes {pgo['probes_placed']}/{pgo['probes_full']})"
+        if pgo.get("pgo_installed")
+        else "n/a"
+    )
     print(
         f"bench_perf: blockjit speedup {interp['blockjit_speedup']:.2f}x "
         f"over the tuple interpreter, fusion speedup "
         f"{interp['fusion_speedup']:.2f}x, sampling wall overhead "
         f"{sampling['sampling_wall_overhead']:.2f}x, superblock hot-loop "
         f"speedup {sb_text}, tracefast speedup {tf_text} over the "
-        f"superblock, parallel speedup "
+        f"superblock, pgo speedup {pgo_text}, parallel speedup "
         f"{sweep['parallel_speedup']:.2f}x ({sweep['jobs']} jobs on "
         f"{cpu_count} cores), digests_match={sweep['digests_match']}"
     )
@@ -1011,6 +1237,23 @@ def main(argv=None) -> int:
                 f"bench_perf: FATAL tracefast hot-loop speedup "
                 f"{tracefast['tracefast_speedup']:.3f}x below the "
                 f"{TRACEFAST_SPEEDUP_FLOOR:.2f}x floor"
+            )
+            rc = 1
+    # PGO hot-call floor plus the probe-placement saving (full runs
+    # only; REPRO_PGO=0 runs report n/a and skip both gates).
+    if not args.quick and pgo.get("pgo_installed"):
+        if pgo["pgo_speedup"] < PGO_SPEEDUP_FLOOR:
+            print(
+                f"bench_perf: FATAL pgo hot-call speedup "
+                f"{pgo['pgo_speedup']:.3f}x below the "
+                f"{PGO_SPEEDUP_FLOOR:.2f}x floor"
+            )
+            rc = 1
+        if pgo["probe_reduction"] <= 0.0:
+            print(
+                f"bench_perf: FATAL min-coverage placed "
+                f"{pgo['probes_placed']} probes vs {pgo['probes_full']} "
+                f"full — no reduction"
             )
             rc = 1
     if args.check:

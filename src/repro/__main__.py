@@ -77,6 +77,33 @@ def cmd_profile(args: argparse.Namespace) -> int:
         mode = (
             "perfect" if args.perfect else f"PEP({args.samples},{args.stride})"
         )
+    engagement = report.engagement()
+    if args.json:
+        import json
+
+        payload = {
+            "mode": mode,
+            "source": args.source,
+            "overhead": report.overhead,
+            "samples": report.result.samples_taken,
+            "distinct_paths": report.paths.distinct_paths(),
+            "hot_paths": [
+                {"method": method, "path": number, "flow": flow}
+                for (method, number), flow in report.hot_paths()[: args.top]
+            ],
+            "branch_biases": {
+                str(branch): bias
+                for branch, bias in sorted(
+                    report.branch_biases().items(), key=lambda kv: str(kv[0])
+                )
+            },
+            "engagement": engagement,
+            "health": (
+                report.health.to_dict() if report.health is not None else None
+            ),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     print(f"# {mode} profile of {args.source}")
     print(f"overhead: {report.overhead * 100:.2f}%")
     if not args.perfect:
@@ -90,6 +117,32 @@ def cmd_profile(args: argparse.Namespace) -> int:
     print("branch biases:")
     for branch, bias in sorted(report.branch_biases().items()):
         print(f"  {str(branch):28s} {bias * 100:6.1f}% taken")
+    if engagement:
+        totals = engagement["totals"]
+        print()
+        print("tier engagement:")
+        print(
+            f"  blockjit={totals['blockjit_methods']} "
+            f"superblock={totals['superblock_installs']} "
+            f"tracefast={totals['tracefast_installs']} "
+            f"pgo_inline_sites={totals['pgo_inline_sites']} "
+            f"min_coverage={totals['min_coverage_methods']} "
+            f"probes={totals['probes_placed']}/{totals['probes_full']}"
+        )
+        for name, row in engagement["methods"].items():
+            backend = row["trace_backend"] or (
+                "blockjit" if row["blockjit"] else "interp"
+            )
+            extras = []
+            if row["pgo_inline_sites"]:
+                extras.append(f"inline_sites={row['pgo_inline_sites']}")
+            if row["probe_mode"]:
+                extras.append(f"probes={row['probe_mode']}")
+            suffix = (" " + " ".join(extras)) if extras else ""
+            print(
+                f"  {name:24s} v{row['version']} {row['tier']:10s} "
+                f"{backend}{suffix}"
+            )
     if report.health is not None:
         print()
         print("run health:")
@@ -286,6 +339,12 @@ def build_parser() -> argparse.ArgumentParser:
     prof_p.add_argument("--ticks", type=int, default=200)
     prof_p.add_argument("--top", type=int, default=10)
     prof_p.add_argument("--perfect", action="store_true")
+    prof_p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full report (including per-method tier-engagement "
+        "counters) as JSON",
+    )
     prof_p.add_argument(
         "--adaptive",
         action="store_true",

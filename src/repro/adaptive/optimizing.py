@@ -28,8 +28,14 @@ from repro.adaptive.passes import (
     inline_small_methods,
 )
 from repro.profiling.edges import EdgeProfile
+from repro.vm import pgo
 from repro.vm.costs import CostModel
-from repro.vm.interpreter import CompiledMethod, lower_method, resolve_fuse
+from repro.vm.interpreter import (
+    OP_CALL,
+    CompiledMethod,
+    lower_method,
+    resolve_fuse,
+)
 
 # Profiling instrumentation the optimizing compiler can attach:
 #   None          - plain optimized code (the paper's Base)
@@ -61,6 +67,7 @@ def optimize_method(
     unroll: bool = False,
     injector=None,
     superblock_advice: Optional[Tuple[int, int]] = None,
+    min_coverage: bool = False,
 ) -> Tuple[CompiledMethod, float]:
     """Compile one method at opt level 0-2 with optional instrumentation.
 
@@ -79,6 +86,16 @@ def optimize_method(
     body when its P-DAG fingerprint matches (path numbers are only
     meaningful relative to one DAG, so a mismatch misses cleanly).
     Best-effort and observable only in wall clock: no cycles charged.
+
+    ``min_coverage=True`` (meaningful only with ``instrumentation=
+    "edges"``) places the per-branch counters on a spanning-tree
+    complement instead of every arm (DESIGN.md §14); the attached
+    ``cm.probe_plan`` lets the VM reconstruct the full edge profile at
+    drain time.  Only one-shot pipelines may enable it: edge counters
+    are shared across recompiled versions of a method, and mixing
+    probed and full placements on one counter set would break the
+    flow-conservation solve.  The effective value is part of the cache
+    key — probed and fully-instrumented artefacts never conflate.
 
     Returns the compiled method and the compile-time cycles charged
     (including PEP's extra pass cost when instrumenting).
@@ -104,12 +121,13 @@ def optimize_method(
     # lowering call: the default is environment-dependent (REPRO_FUSE),
     # and a persistent key must never conflate fused/unfused artefacts.
     fuse = resolve_fuse()
+    min_coverage = bool(min_coverage and instrumentation == "edges")
     cache = codecache.active_cache() if injector is None else None
     key: Optional[tuple] = None
     if cache is not None:
         key = codecache.optimize_key(
             method, program, level, instrumentation, unroll, version,
-            costs, edge_profile, fuse=fuse,
+            costs, edge_profile, fuse=fuse, min_coverage=min_coverage,
         )
         hit = cache.get(key)
         if hit is not None:
@@ -145,13 +163,23 @@ def optimize_method(
         inst = apply_full_blpp(
             clone, edge_profile, style="classic", count_mode="array"
         )
-    elif instrumentation == "edges":
-        apply_edge_instrumentation(clone)
+    probe_plan = None
+    if instrumentation == "edges":
+        if min_coverage:
+            probe_plan = pgo.apply_min_coverage(clone)
+        if probe_plan is None:
+            apply_edge_instrumentation(clone)
 
     tier = f"opt{level}"
     cm = lower_method(clone, tier, costs, version=version, fuse=fuse)
     if inst is not None:
         cm.attach_dag(inst.dag)
+    cm.probe_plan = probe_plan
+    # Layout advice is computed from the same edge profile that drove
+    # apply_branch_layout, so it is covered by the cache key's profile
+    # fingerprint; the backends consult it only when the (keyed) layout
+    # flag is on, making the advice pure wall-clock steering.
+    cm.pgo_layout = pgo.layout_order(cm, edge_profile)
 
     compile_cycles = costs.compile_cost(tier, method.instruction_count())
     if instrumentation is not None:
@@ -164,7 +192,7 @@ def optimize_method(
 
 
 def _apply_superblock_advice(
-    cm: CompiledMethod, advice: Tuple[int, int], costs=None
+    cm: CompiledMethod, advice: tuple, costs=None
 ) -> None:
     """Carry a hot trace across a recompile; silent no-op on mismatch.
 
@@ -173,16 +201,40 @@ def _apply_superblock_advice(
     plain blockjit.  Failures degrade to plain blockjit rather than
     failing the compile: the advice is an optimization hint, not part of
     the compiled artefact's contract.
+
+    ``advice`` is ``(path_number, dag_fingerprint)`` plus an optional
+    third element: the outgoing version's PGO inline plans
+    (DESIGN.md §14).  Plans are revalidated against the fresh lowering
+    (same block label, same call, same callee) before the trace is
+    regenerated, so the splices survive a recompile whenever the P-DAG
+    does; the generated guard re-checks callee identity at run time.
     """
     from repro.profiling.regenerate import dag_fingerprint
-    from repro.util.flags import superblock_enabled
+    from repro.util.flags import pgo_inline_enabled, superblock_enabled
     from repro.vm.superblock import install_superblock
 
-    path_number, dag_fp = advice
+    path_number, dag_fp = advice[0], advice[1]
+    inline_plans = advice[2] if len(advice) > 2 else None
     if cm.dag is None or not superblock_enabled():
         return
     if dag_fingerprint(cm.dag) != dag_fp:
         return
+    if (
+        inline_plans
+        and pgo_inline_enabled()
+        and cm.pgo_inline is None
+        and cm.sb_source is None
+    ):
+        revalidated = {}
+        for (label, j), plan in inline_plans.items():
+            block = cm.blocks.get(label)
+            if block is None or j >= len(block.ops):
+                continue
+            op = block.ops[j]
+            if op[0] != OP_CALL or op[3] != plan.callee_name:
+                continue
+            revalidated[(label, j)] = plan
+        cm.pgo_inline = revalidated or None
     try:
         install_superblock(cm, path_number, costs)
     except Exception:

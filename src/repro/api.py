@@ -54,12 +54,15 @@ class ProfileReport:
         resolvers: Dict[str, PathResolver],
         result: RunResult,
         base_cycles: float,
+        code: Optional[Dict[str, CompiledMethod]] = None,
     ) -> None:
         self.paths = paths
         self.edges = edges
         self.resolvers = resolvers
         self.result = result
         self.base_cycles = base_cycles
+        # The run's final compiled image, for tier-engagement reporting.
+        self.code = code
 
     @property
     def overhead(self) -> float:
@@ -99,6 +102,19 @@ class ProfileReport:
     def branch_biases(self) -> Dict[BranchRef, float]:
         """Taken-bias of every profiled bytecode branch."""
         return {branch: self.edges.bias(branch) for branch in self.edges.branches()}
+
+    def engagement(self) -> dict:
+        """Per-method tier-engagement counters (DESIGN.md §14).
+
+        Which backend each method's final code came from, PGO-inline
+        site counts, and probe-placement modes; ``{}`` when the run did
+        not retain its compiled image.
+        """
+        if self.code is None:
+            return {}
+        from repro.vm import pgo
+
+        return pgo.engagement_summary(self.code)
 
     def __repr__(self) -> str:
         return (
@@ -210,6 +226,7 @@ def profile(
         resolvers=resolvers,
         result=result,
         base_cycles=base_result.cycles,
+        code=code,
     )
 
 
@@ -266,6 +283,7 @@ def profile_adaptive(
         resolvers=dict(system.resolvers),
         result=result,
         base_cycles=base_result.cycles,
+        code=system.code,
     )
 
 

@@ -56,6 +56,38 @@ TRACEFAST_AOT_ENV = "REPRO_TRACEFAST_AOT"
 TRACEFAST_AOT: Optional[bool] = None
 
 
+PGO_ENV = "REPRO_PGO"
+
+#: Module override for the profile-guided optimization tier (DESIGN.md
+#: §14): master switch over the three PGO transforms below.  All three
+#: are bit-identical in every observable (``tests/test_pgo.py`` proves
+#: it); ``REPRO_PGO=0`` reverts codegen to the PR-7 shapes byte for
+#: byte.
+PGO: Optional[bool] = None
+
+PGO_LAYOUT_ENV = "REPRO_PGO_LAYOUT"
+
+#: Module override for profile-guided code layout: order blockjit's
+#: segment definitions and tracefast's token-ladder arms by observed
+#: edge heat so the hot successor is the first-tested arm.
+PGO_LAYOUT: Optional[bool] = None
+
+PGO_INLINE_ENV = "REPRO_PGO_INLINE"
+
+#: Module override for dominant-path callee inlining: splice a hot
+#: monomorphic callee's dominant Ball-Larus path into the caller's
+#: tracefast trace behind a guard that side-exits to the normal call.
+PGO_INLINE: Optional[bool] = None
+
+PGO_PROBES_ENV = "REPRO_PGO_PROBES"
+
+#: Module override for minimum-coverage probe placement: instrument only
+#: a spanning-tree complement of each method's CFG in the dedicated
+#: edge-instrumentation mode and reconstruct the full edge profile at
+#: drain time (Knuth / Ball-Larus minimum instrumentation).
+PGO_PROBES: Optional[bool] = None
+
+
 def _env_enabled(name: str, default: bool = True) -> bool:
     env = os.environ.get(name)
     if env is not None and env.strip():
@@ -120,6 +152,67 @@ def tracefast_aot_enabled(explicit: Optional[bool] = None) -> bool:
     if TRACEFAST_AOT is not None:
         return bool(TRACEFAST_AOT)
     return _env_enabled(TRACEFAST_AOT_ENV)
+
+
+def pgo_enabled(explicit: Optional[bool] = None) -> bool:
+    """Resolve the PGO master switch.
+
+    ``REPRO_PGO=0`` is the tier-wide kill switch: every generated
+    artefact reverts to its PR-7 shape byte for byte.  The resolved
+    value participates in codecache keys and superblock fingerprints
+    through the three sub-flags below, never on its own.
+    """
+    if explicit is not None:
+        return bool(explicit)
+    if PGO is not None:
+        return bool(PGO)
+    return _env_enabled(PGO_ENV)
+
+
+def pgo_layout_enabled(explicit: Optional[bool] = None) -> bool:
+    """Resolve the effective profile-guided-layout setting.
+
+    The master switch gates every sub-flag: ``REPRO_PGO=0`` disables
+    layout even when ``REPRO_PGO_LAYOUT=1``.  Persisted artefacts shaped
+    by this flag (blockjit/tracefast sources in the codecache) embed the
+    resolved value in their keys/fingerprints, so a flip drops stale
+    advice wholesale instead of replaying it.
+    """
+    if not pgo_enabled():
+        return False
+    if explicit is not None:
+        return bool(explicit)
+    if PGO_LAYOUT is not None:
+        return bool(PGO_LAYOUT)
+    return _env_enabled(PGO_LAYOUT_ENV)
+
+
+def pgo_inline_enabled(explicit: Optional[bool] = None) -> bool:
+    """Resolve the effective dominant-path-inlining setting (master
+    switch gates it; see :func:`pgo_layout_enabled` for the key/
+    fingerprint contract)."""
+    if not pgo_enabled():
+        return False
+    if explicit is not None:
+        return bool(explicit)
+    if PGO_INLINE is not None:
+        return bool(PGO_INLINE)
+    return _env_enabled(PGO_INLINE_ENV)
+
+
+def pgo_probes_enabled(explicit: Optional[bool] = None) -> bool:
+    """Resolve the effective minimum-coverage-probes setting (master
+    switch gates it).  Applies only to the dedicated one-shot
+    edge-instrumentation mode — baseline one-time instrumentation and
+    the sweep configurations are untouched, which is what keeps every
+    sweep digest bit-identical under the flip."""
+    if not pgo_enabled():
+        return False
+    if explicit is not None:
+        return bool(explicit)
+    if PGO_PROBES is not None:
+        return bool(PGO_PROBES)
+    return _env_enabled(PGO_PROBES_ENV)
 
 
 def numpy_drain_enabled(explicit: Optional[bool] = None) -> bool:

@@ -160,8 +160,13 @@ def load_functions(cm, source: str) -> Optional[Dict[str, object]]:
         # carries; the compiled functions resolve them as module
         # globals.
         from repro.vm.blockjit import _namespace
+        from repro.vm.tracefast import _inline_namespace
 
         for key, value in _namespace(cm).items():
+            setattr(module, key, value)
+        # Inline-splice globals (guarded callee objects and their edge
+        # origins, DESIGN.md §14) ride along the same way.
+        for key, value in _inline_namespace(cm).items():
             setattr(module, key, value)
         out: Dict[str, object] = {}
         for name in dir(module):

@@ -52,7 +52,7 @@ import os
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import FuelExhaustedError, VMError
-from repro.util.flags import samplefast_enabled
+from repro.util.flags import pgo_layout_enabled, samplefast_enabled
 from repro.vm.interpreter import (
     OP_ALEN,
     OP_ALOAD,
@@ -152,6 +152,18 @@ def _entry_ips(block: LoweredBlock) -> List[int]:
     return ips
 
 
+def _mask(counted) -> int:
+    """Per-arm probe mask of a lowered ``count_arms`` field.
+
+    Bit 0 counts the taken arm, bit 1 the not-taken arm.  Lowering
+    emits ints (``interpreter._arm_mask``); a legacy boolean True still
+    normalises to both arms.
+    """
+    if counted is True:
+        return 3
+    return int(counted or 0)
+
+
 def _edge_origins(cm: CompiledMethod) -> List[object]:
     """Edge-instrumentation origin objects, in deterministic block order.
 
@@ -210,7 +222,17 @@ class _MethodCodegen:
         self.cm = cm
         self.blocks = list(cm.blocks.values())
         self.block_index = {block.label: bi for bi, block in enumerate(self.blocks)}
-        self._origin_counter = 0
+        # Edge-origin globals are named by *block order* (the traversal
+        # of :func:`_edge_origins`, which `_namespace` re-runs to bind
+        # them), never by segment emission order — layout advice may
+        # emit hot segments first, but ``_og{j}`` must keep meaning the
+        # j-th counted branch of the method.
+        self._origin_names: Dict[str, str] = {}
+        for block in self.blocks:
+            term = block.term
+            t = term[0]
+            if (t == T_BR and term[10]) or (t == T_BRCMP and term[15]):
+                self._origin_names[block.label] = f"_og{len(self._origin_names)}"
         # Resolved once so a method's segments all share one yieldpoint
         # style; the style is baked into the source text, which is what
         # the codecache keys (via the resolved samplefast flag) address.
@@ -220,7 +242,16 @@ class _MethodCodegen:
     # -- top level ----------------------------------------------------------
 
     def generate(self) -> str:
-        for bi, block in enumerate(self.blocks):
+        # Profile-guided layout (DESIGN.md §14): emit hot blocks'
+        # segments first.  Function *names* stay keyed by canonical
+        # block index, so the namespace and entry table are untouched;
+        # only the textual order (and thus code-object locality) moves.
+        ordered = list(enumerate(self.blocks))
+        advice = self.cm.pgo_layout
+        if advice and pgo_layout_enabled():
+            rank = {label: i for i, label in enumerate(advice)}
+            ordered.sort(key=lambda pair: rank.get(pair[1].label, len(rank)))
+        for bi, block in ordered:
             for ip in _entry_ips(block):
                 self.functions.append(self._gen_segment(bi, block, ip))
         header = (
@@ -506,11 +537,18 @@ class _MethodCodegen:
         elif t == T_BR:
             a = seg.rd(term[3])
             b = seg.rd(term[4])
-            origin = self._origin_name(term[10])
+            mask = _mask(term[10])
+            origin = self._origin_names.get(block.label)
             seg.emit(f"if {a} {_cmp_text(term[2])} {b}:")
-            self._gen_arm(seg, True, term[7], term[8], origin, term[11], term[5])
+            self._gen_arm(
+                seg, True, term[7], term[8],
+                origin if mask & 1 else None, term[11], term[5],
+            )
             seg.emit("else:")
-            self._gen_arm(seg, False, term[7], term[8], origin, term[11], term[6])
+            self._gen_arm(
+                seg, False, term[7], term[8],
+                origin if mask & 2 else None, term[11], term[6],
+            )
         elif t == T_BRCMP:
             k = term[2]
             if k < 0:
@@ -526,24 +564,20 @@ class _MethodCodegen:
                 )
                 tvar = f"r{term[3]}"
             seg.emit(f"{seg.wr(term[7])} = {term[8]!r}")
-            origin = self._origin_name(term[15])
+            mask = _mask(term[15])
+            origin = self._origin_names.get(block.label)
             seg.emit(f"if {tvar} {_cmp_text(term[9])} {term[8]!r}:")
             self._gen_arm(
-                seg, True, term[12], term[13], origin, term[16], term[10]
+                seg, True, term[12], term[13],
+                origin if mask & 1 else None, term[16], term[10],
             )
             seg.emit("else:")
             self._gen_arm(
-                seg, False, term[12], term[13], origin, term[16], term[11]
+                seg, False, term[12], term[13],
+                origin if mask & 2 else None, term[16], term[11],
             )
         else:  # pragma: no cover - lowering emits only known terminators
             raise VMError(f"blockjit cannot compile terminator {t}")
-
-    def _origin_name(self, counted: bool) -> Optional[str]:
-        if not counted:
-            return None
-        name = f"_og{self._origin_counter}"
-        self._origin_counter += 1
-        return name
 
     def _gen_arm(
         self,
@@ -682,15 +716,18 @@ def execute_blockjit(vm, fuel: int) -> int:
         nxt = fn(vm, frame, regs, st)
         if nxt is not None:
             if nxt is call:
-                # A callee frame was pushed by the segment.
+                # A callee frame was pushed by the segment.  Fresh
+                # frames start at (entry, 0) with path_reg 0; a frame
+                # materialised by a tracefast inline side exit resumes
+                # at its recorded position with its rebuilt path state.
                 frame = stack[-1]
                 regs = frame.regs
-                st.path_reg = 0
+                st.path_reg = frame.path_reg
                 cm = frame.cm
                 entries = cm.jit_entries
                 if entries is None:
                     entries = ensure_jit(cm)
-                fn = entries[(cm.entry.label, 0)]
+                fn = entries[(frame.block.label, frame.ip)]
             else:
                 fn = nxt
             continue

@@ -33,7 +33,11 @@ from typing import Dict, Iterable, Optional, Tuple
 from repro.bytecode.disasm import format_instr, format_terminator
 from repro.bytecode.method import Method, Program
 from repro.profiling.edges import EdgeProfile
-from repro.util.flags import samplefast_enabled
+from repro.util.flags import (
+    pgo_inline_enabled,
+    pgo_layout_enabled,
+    samplefast_enabled,
+)
 from repro.util.rng import stable_hash
 from repro.vm.costs import CostModel
 from repro.vm.interpreter import CompiledMethod
@@ -61,7 +65,15 @@ DEFAULT_BOUND = 2048
 # Because format-4 fingerprints were computed without that component, a
 # format-4 cache loaded under format 5 is dropped wholesale (the
 # standard wrong-format path below) rather than partially reused.
-_FORMAT = 5
+# Format 6: CompiledMethod pickles additionally carry PGO advice
+# (``pgo_layout``/``pgo_inline``/``probe_plan``, DESIGN.md §14), the
+# keys gained the resolved ``REPRO_PGO_LAYOUT``/``REPRO_PGO_INLINE``
+# flags plus the effective minimum-coverage placement bit, and
+# ``sb_fingerprint`` folds in :func:`repro.vm.pgo.pgo_fingerprint`.
+# Format-5 entries know none of this, so a format-5 cache loaded under
+# format 6 is dropped wholesale — flag flips within format 6 miss
+# cleanly through the key/fingerprint components instead.
+_FORMAT = 6
 
 
 # -- fingerprints -----------------------------------------------------------
@@ -148,6 +160,7 @@ def optimize_key(
     edge_profile: Optional[EdgeProfile],
     fuse: Optional[bool] = None,
     samplefast: Optional[bool] = None,
+    min_coverage: bool = False,
 ) -> tuple:
     return (
         "opt",
@@ -161,6 +174,12 @@ def optimize_key(
         fingerprint_profile(edge_profile),
         fuse,
         samplefast_enabled(samplefast),
+        # Resolved PGO components (format 6): layout advice shapes the
+        # persisted jit_source, and the probe-placement bit decides the
+        # branch masks — neither may conflate across a flag flip.
+        pgo_layout_enabled(),
+        pgo_inline_enabled(),
+        bool(min_coverage),
     )
 
 
@@ -178,6 +197,11 @@ def baseline_key(
         fingerprint_costs(costs),
         fuse,
         samplefast_enabled(samplefast),
+        # Baseline compilation takes no PGO advice (no profile exists
+        # yet), but its jit_source is still emitted layout-aware when
+        # the flag is on (canonical order, byte-identical source) — the
+        # resolved flag keeps the keyspace aligned with optimize_key.
+        pgo_layout_enabled(),
     )
 
 

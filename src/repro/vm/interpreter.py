@@ -169,6 +169,9 @@ class CompiledMethod:
         "sb_path",
         "sb_fingerprint",
         "sb_entry",
+        "pgo_layout",
+        "pgo_inline",
+        "probe_plan",
     )
 
     def __init__(
@@ -205,6 +208,17 @@ class CompiledMethod:
         self.sb_path: Optional[int] = None
         self.sb_fingerprint: Optional[str] = None
         self.sb_entry = None
+        # Profile-guided optimization advice (see repro.vm.pgo /
+        # DESIGN.md §14).  ``pgo_layout`` is the hot-first block-label
+        # order the codegen backends emit by; ``pgo_inline`` maps call
+        # sites inside a promoted trace to dominant-path inline plans;
+        # ``probe_plan`` records the minimum-coverage edge-probe
+        # placement so the drain can reconstruct the full edge profile.
+        # All three pickle with the method (they are advice *content*,
+        # fingerprinted alongside the sources they shaped).
+        self.pgo_layout: Optional[tuple] = None
+        self.pgo_inline: Optional[dict] = None
+        self.probe_plan = None
 
     def __getstate__(self) -> dict:
         state = {slot: getattr(self, slot) for slot in self.__slots__}
@@ -277,7 +291,7 @@ def lower_method(
                 term.layout == "then",
                 costs.branch_mislayout_penalty * mult,
                 term.origin,
-                getattr(term, "count_arms", False),
+                _arm_mask(getattr(term, "count_arms", False)),
                 costs.edge_count * mult,
             )
             fused = _fuse_cmp_br(ops, br) if fuse else None
@@ -328,6 +342,23 @@ def _fuse_const_bin(ops: List[tuple]) -> None:
         fused.append(op)
         i += 1
     ops[:] = fused
+
+
+def _arm_mask(count_arms) -> int:
+    """Normalise a terminator's ``count_arms`` to a per-arm probe mask.
+
+    Bit 0 probes the taken arm, bit 1 the not-taken arm.  Classic full
+    edge instrumentation (``count_arms = True``) probes both (mask 3);
+    minimum-coverage placement (DESIGN.md §14) leaves only a
+    spanning-tree complement instrumented, so individual arms carry
+    their own bit.  ``False``/``None`` stay 0 — the uninstrumented fast
+    path is still a single falsy check.
+    """
+    if count_arms is True:
+        return 3
+    if not count_arms:
+        return 0
+    return int(count_arms)
 
 
 def _fuse_cmp_br(ops: List[tuple], br: tuple) -> Optional[tuple]:
@@ -707,7 +738,10 @@ def execute(vm, fuel: int) -> int:
                     taken = a != b
                 if taken != term[7]:  # not the laid-out fall-through arm
                     cyc += term[8]
-                if term[10]:  # baseline one-time edge instrumentation
+                # Edge instrumentation: term[10] is the per-arm probe
+                # mask (bit 0 = taken, bit 1 = not-taken; 3 = classic
+                # full instrumentation, 0 = none).
+                if term[10] & (1 if taken else 2):
                     edge_record(term[9], taken)
                     cyc += term[11]
                 block = term[5] if taken else term[6]
@@ -754,7 +788,7 @@ def execute(vm, fuel: int) -> int:
                     taken = tval != zv
                 if taken != term[12]:
                     cyc += term[13]
-                if term[15]:
+                if term[15] & (1 if taken else 2):  # per-arm probe mask
                     edge_record(term[14], taken)
                     cyc += term[16]
                 block = term[10] if taken else term[11]

@@ -211,8 +211,12 @@ class VirtualMachine:
     def run(self, fuel: int = DEFAULT_FUEL) -> RunResult:
         """Execute main to completion and return the result snapshot."""
         engine = execute_blockjit if self.use_blockjit else execute
+        error: Optional[VMError] = None
         try:
             return_value = engine(self, fuel)
+        except VMError as exc:
+            error = exc
+            raise
         finally:
             # Buffered samplers drain at tick boundaries; the tail of
             # the final burst drains here, so profiles observed after a
@@ -222,6 +226,7 @@ class VirtualMachine:
                 flush = getattr(sampler, "flush", None)
                 if flush is not None:
                     flush(self)
+            self._drain_probe_plans(error)
         return RunResult(
             return_value=return_value,
             cycles=self.cycles,
@@ -236,6 +241,27 @@ class VirtualMachine:
                 self.resilience.health if self.resilience is not None else None
             ),
         )
+
+    def _drain_probe_plans(self, error: Optional[VMError]) -> None:
+        """Rebuild full edge counts for minimum-coverage methods.
+
+        Methods instrumented with spanning-tree probe placement
+        (DESIGN.md §14) recorded only the complement arms during the
+        run; flow conservation recovers the rest once frames stuck
+        mid-method (an aborted run's guest stack) are balanced in.
+        Runs with no probe plans — every configuration except the
+        one-shot edges mode under ``REPRO_PGO_PROBES`` — skip this.
+        """
+        plans = [cm for cm in self.code.values() if cm.probe_plan is not None]
+        if not plans:
+            return
+        from repro.vm import pgo
+
+        stuck = pgo.stuck_blocks(self, error)
+        for cm in plans:
+            pgo.reconstruct_probed_edges(
+                cm.probe_plan, self.edge_profile, stuck.get(cm)
+            )
 
     def charge_compile(self, cycles: float) -> float:
         """Record compile-time cycles; returns them for handler charging."""

@@ -60,6 +60,7 @@ from repro.util.rng import stable_hash
 from repro.vm.blockjit import (
     _CODE_OBJECTS,
     _CODE_OBJECTS_BOUND,
+    _mask,
     _MethodCodegen,
     _Segment,
     _cmp_text,
@@ -255,15 +256,18 @@ def _emit_term(
     elif t == T_BR:
         a = seg.rd(term[3])
         b = seg.rd(term[4])
-        origin = origin_names.get(block.label) if term[10] else None
+        mask = _mask(term[10])
+        origin = origin_names.get(block.label)
         seg.emit(f"if {a} {_cmp_text(term[2])} {b}:")
         _emit_arm(
-            cg, seg, True, term[7], term[8], origin, term[11],
+            cg, seg, True, term[7], term[8],
+            origin if mask & 1 else None, term[11],
             term[5], next_label, is_last,
         )
         seg.emit("else:")
         _emit_arm(
-            cg, seg, False, term[7], term[8], origin, term[11],
+            cg, seg, False, term[7], term[8],
+            origin if mask & 2 else None, term[11],
             term[6], next_label, is_last,
         )
     elif t == T_BRCMP:
@@ -278,15 +282,18 @@ def _emit_term(
             seg.emit(f"{seg.wr(term[3])} = 1 if {a} {_cmp_text(k)} {b} else 0")
             tvar = f"r{term[3]}"
         seg.emit(f"{seg.wr(term[7])} = {term[8]!r}")
-        origin = origin_names.get(block.label) if term[15] else None
+        mask = _mask(term[15])
+        origin = origin_names.get(block.label)
         seg.emit(f"if {tvar} {_cmp_text(term[9])} {term[8]!r}:")
         _emit_arm(
-            cg, seg, True, term[12], term[13], origin, term[16],
+            cg, seg, True, term[12], term[13],
+            origin if mask & 1 else None, term[16],
             term[10], next_label, is_last,
         )
         seg.emit("else:")
         _emit_arm(
-            cg, seg, False, term[12], term[13], origin, term[16],
+            cg, seg, False, term[12], term[13],
+            origin if mask & 2 else None, term[16],
             term[11], next_label, is_last,
         )
     else:  # pragma: no cover - trace_blocks validated the terminators
@@ -383,11 +390,16 @@ def superblock_fingerprint(cm: CompiledMethod, path_number: int) -> int:
     — a flag flip misses cleanly, exactly like stale advice.
     """
     from repro.util.flags import samplefast_enabled, tracefast_enabled
+    from repro.vm.pgo import pgo_fingerprint
 
     return stable_hash(
         "superblock|"
         f"{dag_fingerprint(cm.dag)}|{path_number}|"
-        f"{int(samplefast_enabled())}|tf{int(tracefast_enabled())}"
+        f"{int(samplefast_enabled())}|tf{int(tracefast_enabled())}|"
+        # Format 6: the resolved PGO flags and the advice they shaped
+        # (layout order, inline plans) are part of the generated source;
+        # a flag flip or advice change must miss, never reuse.
+        f"pgo{pgo_fingerprint(cm)}"
     )
 
 

@@ -235,11 +235,12 @@ def test_save_is_atomic(tmp_path):
     assert leftovers == []
 
 
-def test_format4_cache_dropped_wholesale_under_format5(tmp_path):
-    # A cache persisted by the format-4 code (PR 5: superblock sources,
-    # no tracefast component in the fingerprint) must not be partially
-    # reused: format 5 changed what ``sb_fingerprint`` hashes, so every
-    # format-4 entry is untrustworthy and the load drops the whole file.
+def test_old_format_cache_dropped_wholesale(tmp_path):
+    # A cache persisted by an older format (format 4: no tracefast
+    # component in the fingerprint; format 5: no PGO components in the
+    # keys) must not be partially reused: each bump changed what the
+    # keys/fingerprints hash, so every old entry is untrustworthy and
+    # the load drops the whole file.
     program = counting_program(10)
     cm, cycles = _compile(program)
     path = str(tmp_path / "cache.pkl")
@@ -248,8 +249,8 @@ def test_format4_cache_dropped_wholesale_under_format5(tmp_path):
     # Rewrite the valid payload as if an old process had saved it.
     with open(path, "rb") as fh:
         payload = pickle.load(fh)
-    assert payload["format"] == codecache._FORMAT == 5
-    payload["format"] = 4
+    assert payload["format"] == codecache._FORMAT == 6
+    payload["format"] = 5
     with open(path, "wb") as fh:
         pickle.dump(payload, fh)
 
