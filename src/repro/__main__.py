@@ -121,13 +121,22 @@ def cmd_profile(args: argparse.Namespace) -> int:
         totals = engagement["totals"]
         print()
         print("tier engagement:")
+        coverage = totals.get("fold_coverage")
         print(
             f"  blockjit={totals['blockjit_methods']} "
             f"superblock={totals['superblock_installs']} "
             f"tracefast={totals['tracefast_installs']} "
+            f"warmjit={totals['warmjit_installs']} "
             f"pgo_inline_sites={totals['pgo_inline_sites']} "
             f"min_coverage={totals['min_coverage_methods']} "
             f"probes={totals['probes_placed']}/{totals['probes_full']}"
+        )
+        print(
+            f"  fold: certified={totals['fold_certified']} "
+            f"rejected={totals['fold_rejected']} "
+            f"legacy={totals['fold_legacy']} "
+            "coverage="
+            + (f"{coverage:.3f}" if coverage is not None else "n/a")
         )
         for name, row in engagement["methods"].items():
             backend = row["trace_backend"] or (
@@ -138,6 +147,8 @@ def cmd_profile(args: argparse.Namespace) -> int:
                 extras.append(f"inline_sites={row['pgo_inline_sites']}")
             if row["probe_mode"]:
                 extras.append(f"probes={row['probe_mode']}")
+            if row["fold"] != "certified":
+                extras.append(f"fold={row['fold']}")
             suffix = (" " + " ".join(extras)) if extras else ""
             print(
                 f"  {name:24s} v{row['version']} {row['tier']:10s} "

@@ -22,9 +22,14 @@ from repro.sampling.arnold_grove import (
 )
 from repro.adaptive.baseline import compile_baseline
 from repro.adaptive.optimizing import optimize_method
-from repro.util.flags import superblock_enabled, tracefast_enabled
+from repro.util.flags import (
+    superblock_enabled,
+    tracefast_enabled,
+    warmjit_enabled,
+)
 from repro.vm.costs import CostModel
 from repro.vm.superblock import find_dominant_path, install_superblock
+from repro.vm.tracefast import WARM_PATH
 from repro.vm.interpreter import CompiledMethod
 from repro.vm.runtime import VirtualMachine
 
@@ -39,6 +44,7 @@ class AdaptiveConfig:
         "superblock",
         "superblock_threshold",
         "superblock_min_samples",
+        "warmjit_min_samples",
     )
 
     def __init__(
@@ -49,6 +55,7 @@ class AdaptiveConfig:
         superblock: Optional[bool] = None,
         superblock_threshold: float = 0.5,
         superblock_min_samples: float = 8.0,
+        warmjit_min_samples: float = 4.0,
     ) -> None:
         # thresholds: (samples needed, opt level), ascending.
         self.thresholds = thresholds
@@ -65,6 +72,13 @@ class AdaptiveConfig:
         self.superblock = superblock
         self.superblock_threshold = superblock_threshold
         self.superblock_min_samples = superblock_min_samples
+        # Warm-ladder promotion (DESIGN.md §15): a method that keeps
+        # getting sampled but never forms a dominant path still gets
+        # whole-method tracefast codegen (plain token-ladder arms) once
+        # its *method* samples reach this floor.  Deliberately below
+        # superblock_min_samples — warm is the consolation tier, and a
+        # later dominance event upgrades the ladder to a real trace.
+        self.warmjit_min_samples = warmjit_min_samples
 
 
 class AdaptiveSystem:
@@ -96,14 +110,21 @@ class AdaptiveSystem:
         self.code: Dict[str, CompiledMethod] = {}
         # Superblock promotion events: (source_name, profile_key, path).
         self.superblock_log: List[Tuple[str, str, int]] = []
+        # Warm-ladder promotion events: (source_name, profile_key).
+        self.warmjit_log: List[Tuple[str, str]] = []
         # Profile keys already considered for formation (one decision
         # per compiled version; recompiles get a fresh key).
         self._sb_attempted: set = set()
+        self._warm_attempted: set = set()
         self._superblock = superblock_enabled(self.config.superblock)
         # Backend for promoted traces (DESIGN.md §13): the whole-method
         # tracefast tier when enabled, the classic §11 superblock
         # otherwise.  Resolved once so one run uses one tier.
         self._tracefast = tracefast_enabled()
+        # Warm-ladder tier (DESIGN.md §15): tracefast codegen with no
+        # trace arm, for warm methods without a dominant path.  Only
+        # meaningful when the tracefast backend itself is selected.
+        self._warmjit = self._tracefast and warmjit_enabled()
         self._bootstrap()
 
     def _bootstrap(self) -> None:
@@ -311,7 +332,7 @@ class AdaptiveSystem:
         cm = vm.code.get(source_name)
         if cm is None or cm.dag is None or cm.resolver is None:
             return
-        if cm.sb_entry is not None:
+        if cm.sb_entry is not None and cm.sb_path != WARM_PATH:
             return
         key = cm.profile_key
         if key in self._sb_attempted:
@@ -323,6 +344,10 @@ class AdaptiveSystem:
             self.config.superblock_min_samples,
         )
         if path is None:
+            # No dominant path (yet): the warm ladder is the consolation
+            # tier.  Dominance stays open — a later verdict upgrades the
+            # ladder to a real trace (the one relaxation of first-wins).
+            self._maybe_warmjit(vm, cm, source_name, key)
             return
         # A dominance verdict is final for this version: mark before the
         # attempt so a structurally ineligible path (or an injected
@@ -391,3 +416,54 @@ class AdaptiveSystem:
             raise
         if installed:
             self.superblock_log.append((source_name, key, path))
+
+    def _maybe_warmjit(
+        self,
+        vm: VirtualMachine,
+        cm: CompiledMethod,
+        source_name: str,
+        key: str,
+    ) -> None:
+        """Promote a warm no-dominant-path method to the token ladder.
+
+        Same contract as superblock promotion — one decision per
+        compiled version, zero virtual cycles, no profile writes, no
+        RNG draws on unconfigured fault plans — at a lower sample floor
+        (``warmjit_min_samples``).  With the tier off (or the tracefast
+        backend unselected) this is a pure no-op, so ``REPRO_WARMJIT=0``
+        runs are byte-identical to PR-8 even under a warmjit fault plan.
+        """
+        if not self._warmjit:
+            return
+        if cm.sb_entry is not None or key in self._warm_attempted:
+            return
+        if self.samples.get(source_name, 0) < self.config.warmjit_min_samples:
+            return
+        # One verdict per version, exactly like dominance: a failed or
+        # faulted attempt degrades to plain blockjit permanently for
+        # this compiled version, not per-sample.
+        self._warm_attempted.add(key)
+        resilience = self.resilience
+        injector = resilience.injector if resilience is not None else None
+        if injector is not None and injector.should_fire(
+            "warmjit-compile", key
+        ):
+            resilience.health.record_degradation(
+                "warmjit-degrade",
+                f"{source_name}: injected warmjit-compile fault; "
+                "staying on plain blockjit",
+            )
+            return
+        try:
+            installed = install_superblock(cm, WARM_PATH, self.costs)
+        except Exception as exc:
+            if resilience is not None:
+                resilience.health.record_degradation(
+                    "warmjit-degrade",
+                    f"{source_name}: warm ladder compile failed ({exc}); "
+                    "staying on plain blockjit",
+                )
+                return
+            raise
+        if installed:
+            self.warmjit_log.append((source_name, key))

@@ -87,6 +87,29 @@ PGO_PROBES_ENV = "REPRO_PGO_PROBES"
 #: drain time (Knuth / Ball-Larus minimum instrumentation).
 PGO_PROBES: Optional[bool] = None
 
+FIXEDCOST_ENV = "REPRO_FIXEDCOST"
+
+#: Module override for fixed-point cost folding (DESIGN.md §15): when a
+#: method's lowered charges are certified on the fixed-point grid
+#: (``CostModel.fold_scale``, computed at lowering as
+#: ``CompiledMethod.fold_q``), both codegen backends fold *every*
+#: straight-line cost chain into one scaled-integer constant — no
+#: clean-dyadic gate, no dirty-accumulator tracking.  Grid arithmetic is
+#: exact in floats, so folding is bit-identical to the sequential adds;
+#: ``REPRO_FIXEDCOST=0`` is the kill switch that reverts codegen to the
+#: PR-7/PR-8 chained emission byte for byte.
+FIXEDCOST: Optional[bool] = None
+
+WARMJIT_ENV = "REPRO_WARMJIT"
+
+#: Module override for warm-method whole-method codegen (DESIGN.md §15):
+#: methods that stay warm without ever forming a dominant Ball-Larus
+#: path are still compiled into a tracefast token-ladder ``_m`` function
+#: (plain arms only, laid out in ``pgo_layout`` order), promoted by the
+#: adaptive controller at a warm threshold below superblock promotion.
+#: Pure wall-clock steering; ``REPRO_WARMJIT=0`` is the kill switch.
+WARMJIT: Optional[bool] = None
+
 
 def _env_enabled(name: str, default: bool = True) -> bool:
     env = os.environ.get(name)
@@ -213,6 +236,40 @@ def pgo_probes_enabled(explicit: Optional[bool] = None) -> bool:
     if PGO_PROBES is not None:
         return bool(PGO_PROBES)
     return _env_enabled(PGO_PROBES_ENV)
+
+
+def fixedcost_enabled(explicit: Optional[bool] = None) -> bool:
+    """Resolve the fixed-point cost-folding setting.
+
+    ``REPRO_FIXEDCOST=0`` reverts both codegen backends to the legacy
+    clean-dyadic gate and chained cost emission (bit-identical digests —
+    grid arithmetic is exact either way, the flag only moves wall
+    clock).  The resolved value participates in codecache keys and
+    superblock/tracefast fingerprints: folded and chained sources must
+    never be conflated across processes.
+    """
+    if explicit is not None:
+        return bool(explicit)
+    if FIXEDCOST is not None:
+        return bool(FIXEDCOST)
+    return _env_enabled(FIXEDCOST_ENV)
+
+
+def warmjit_enabled(explicit: Optional[bool] = None) -> bool:
+    """Resolve the warm-method whole-method-codegen setting.
+
+    Effective only when the tracefast backend itself is on (the warm
+    ladder is tracefast codegen without a trace arm).
+    ``REPRO_WARMJIT=0`` is the kill switch: the controller stops
+    promoting warm methods and persisted warm ladders are not
+    re-installed (the artefacts stay for a later enabled process, like
+    the superblock kill switch).
+    """
+    if explicit is not None:
+        return bool(explicit)
+    if WARMJIT is not None:
+        return bool(WARMJIT)
+    return _env_enabled(WARMJIT_ENV)
 
 
 def numpy_drain_enabled(explicit: Optional[bool] = None) -> bool:

@@ -35,6 +35,7 @@ import importlib.util
 import os
 import sys
 import tempfile
+import time
 from typing import Dict, Optional
 
 from repro.util.rng import stable_hash
@@ -44,6 +45,38 @@ _AVAILABLE: Optional[bool] = None
 
 #: Per-process memo of loaded AOT modules, keyed by source fingerprint.
 _MODULES: Dict[int, object] = {}
+
+#: Build-cost ledger: wall-clock seconds spent actually cythonizing and
+#: compiling (cache-hit imports of previously built extensions are NOT
+#: counted — they are the payoff, not the cost).  ``scripts/bench_perf``
+#: reads this to measure the AOT break-even point: how many steady-state
+#: runs a build must amortise over before it wins.
+_BUILD_SECONDS: float = 0.0
+_BUILDS: int = 0
+
+#: Optional build budget (seconds of cumulative build time per process):
+#: once the ledger crosses it, further *builds* are declined and the
+#: caller falls back to the pure-Python exec path — previously built
+#: extensions still load.  Unset/empty means unlimited (the default:
+#: CI's aot-cython job requires builds to flow, and a long-running
+#: process amortises them across every subsequent run).
+AOT_BUDGET_ENV = "REPRO_TRACEFAST_AOT_BUDGET_S"
+
+
+def build_budget_s() -> Optional[float]:
+    """The configured build budget in seconds, or None = unlimited."""
+    raw = os.environ.get(AOT_BUDGET_ENV)
+    if raw is None or not raw.strip():
+        return None
+    try:
+        return float(raw)
+    except ValueError:
+        return None
+
+
+def build_ledger() -> Dict[str, float]:
+    """Builds performed and wall-clock seconds spent this process."""
+    return {"builds": _BUILDS, "build_seconds": _BUILD_SECONDS}
 
 
 def cache_dir() -> str:
@@ -107,6 +140,17 @@ def _build_module(source: str, fingerprint: int):
 
     built = _find_built()
     if built is None:
+        global _BUILD_SECONDS, _BUILDS
+        budget = build_budget_s()
+        if budget is not None and _BUILD_SECONDS >= budget:
+            # Break-even gate: this process has already spent its build
+            # allowance; declining the build degrades to exec, which is
+            # bit-identical and costs no compile wall-clock at all.
+            raise RuntimeError(
+                f"AOT build budget exhausted ({_BUILD_SECONDS:.2f}s >= "
+                f"{budget:.2f}s)"
+            )
+        start = time.perf_counter()
         pyx_path = os.path.join(root, f"{name}.py")
         with open(pyx_path, "w") as fh:
             # cython: language_level=3 keeps pure-Python semantics.
@@ -122,6 +166,8 @@ def _build_module(source: str, fingerprint: int):
         cmd.build_temp = os.path.join(root, "build")
         cmd.ensure_finalized()
         cmd.run()
+        _BUILD_SECONDS += time.perf_counter() - start
+        _BUILDS += 1
         built = _find_built()
         if built is None:
             raise RuntimeError(f"no built extension for {name}")

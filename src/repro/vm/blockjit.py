@@ -13,15 +13,20 @@ closure, follow the returned successor closure.
 Bit-identity contract
 ---------------------
 Generated code must be *bit-identical* to the interpreter in every
-observable: virtual cycles (float adds are emitted per-op, in the same
-order, on a local accumulator — never pre-summed, because float addition
-is non-associative and per-op costs are non-dyadic at the opt0/opt1 tier
-multipliers), path/edge profiles, emitted output, trap messages and
-locations, fuel accounting (charged per block (re)entry, exactly as the
-interpreter does), and fault-injection behavior (yieldpoints call the
-same ``vm.dispatch_yieldpoint``, so every ``repro.resilience`` site
-fires unchanged).  ``tests/test_blockjit.py`` proves this across all
-bundled workloads.
+observable: virtual cycles, path/edge profiles, emitted output, trap
+messages and locations, fuel accounting (charged per block (re)entry,
+exactly as the interpreter does), and fault-injection behavior
+(yieldpoints call the same ``vm.dispatch_yieldpoint``, so every
+``repro.resilience`` site fires unchanged).  Cost accounting comes in
+two certified-equal shapes (DESIGN.md §15): when the method's
+fixed-point certification passed (``cm.fold_q`` truthy), straight-line
+cost chains fold to one scaled-integer constant per flush point — exact
+because every charge lies on the 2**-20 grid where float addition never
+rounds; otherwise (``REPRO_FIXEDCOST=0``, or a genuinely dirty injected
+cost) float adds are emitted per-op, in the same order, on a local
+accumulator — never pre-summed, because float addition is
+non-associative off the grid.  ``tests/test_blockjit.py`` proves the
+contract across all bundled workloads.
 
 Segments
 --------
@@ -53,6 +58,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import FuelExhaustedError, VMError
 from repro.util.flags import pgo_layout_enabled, samplefast_enabled
+from repro.vm.costs import FOLD_SCALE
 from repro.vm.interpreter import (
     OP_ALEN,
     OP_ALOAD,
@@ -184,13 +190,26 @@ def _edge_origins(cm: CompiledMethod) -> List[object]:
 
 
 class _Segment:
-    """Accumulates one generated function: loads, body, dirty registers."""
+    """Accumulates one generated function: loads, body, dirty registers.
+
+    ``fixed`` selects the fixed-point accounting shape (DESIGN.md §15):
+    per-op cost constants collect in ``pending`` instead of emitting an
+    eager ``_cyc += c`` each, and every point that observes the
+    accumulator reads :meth:`cyc_expr` — one folded constant per chain.
+    Certification (``CompiledMethod.fold_q``) guarantees the fold is
+    bit-identical; with ``fixed`` off, ``pending`` stays empty and
+    ``cyc_expr`` degenerates to the literal ``_cyc``, so every legacy
+    emission site can read it unconditionally without changing a byte
+    of the legacy source.
+    """
 
     def __init__(self) -> None:
         self.body: List[str] = []
         self.loads: List[int] = []  # first-use order, unique
         self._bound: set = set()  # registers with a live local
         self.dirty: set = set()  # locals that must be flushed on exit
+        self.fixed = False
+        self.pending: List[float] = []
 
     def rd(self, reg: int) -> str:
         if reg not in self._bound:
@@ -203,14 +222,42 @@ class _Segment:
         self.dirty.add(reg)
         return f"r{reg}"
 
+    def cyc_expr(self) -> str:
+        """The value ``_cyc`` would hold if pending costs flushed now.
+
+        Multi-constant chains fold to one constant computed in exact
+        scaled-integer arithmetic: each ``c * FOLD_SCALE`` is an exact
+        integer-valued product (certification), the int sum is exact,
+        and the single closing division is a power-of-two scaling — so
+        the folded constant equals the sequential float sum bit for bit.
+        """
+        pending = self.pending
+        if not pending:
+            return "_cyc"
+        if len(pending) > 1:
+            total = sum(int(c * FOLD_SCALE) for c in pending) / FOLD_SCALE
+            return f"(_cyc + {total!r})"
+        return f"(_cyc + {pending[0]!r})"
+
     def emit(self, line: str, depth: int = 1) -> None:
+        # Trap guards pass the accumulator by the literal name ``_cyc``;
+        # with costs pending, substitute the folded chain inline so the
+        # cold trap path sees the exact flushed value without the hot
+        # path ever flushing.
+        if self.pending and "_trap(vm, _cyc, " in line:
+            line = line.replace(
+                "_trap(vm, _cyc, ", f"_trap(vm, {self.cyc_expr()}, ", 1
+            )
         self.body.append("    " * depth + line)
 
     def cost(self, amount: float, depth: int = 1) -> None:
         # Zero adds are skipped: x + 0.0 == x bitwise for the
         # non-negative accumulator values that occur here.
         if amount != 0.0:
-            self.emit(f"_cyc += {amount!r}", depth)
+            if self.fixed:
+                self.pending.append(amount)
+            else:
+                self.emit(f"_cyc += {amount!r}", depth)
 
     def writebacks(self, depth: int = 1) -> None:
         for reg in sorted(self.dirty):
@@ -237,6 +284,12 @@ class _MethodCodegen:
         # style; the style is baked into the source text, which is what
         # the codecache keys (via the resolved samplefast flag) address.
         self._samplefast = samplefast_enabled()
+        # Fixed-point accounting verdict (DESIGN.md §15): decided at
+        # lowering time and carried on the method, so lazily regenerated
+        # sources (ensure_jit after a pickle round-trip) always match
+        # the shape the method was certified for — codegen never
+        # re-consults the flag.
+        self._fixed = bool(cm.fold_q)
         self.functions: List[str] = []
 
     # -- top level ----------------------------------------------------------
@@ -268,6 +321,7 @@ class _MethodCodegen:
         ops = block.ops
         n = len(ops)
         seg = _Segment()
+        seg.fixed = self._fixed
         j = ip
         ended = False
         while j < n:
@@ -409,7 +463,9 @@ class _MethodCodegen:
                 # reduces to the sampler call (its 0.0 cost seed adds
                 # exactly: costs are non-negative, so 0.0 + x == x
                 # bitwise), saving a frame per armed yieldpoint.
-                seg.emit("_t = vm.cycles + _cyc")
+                expr = seg.cyc_expr()
+                seg.pending = []
+                seg.emit(f"_t = vm.cycles + {expr}")
                 seg.emit("vm.cycles = _t")
                 seg.emit("_cyc = 0.0")
                 seg.emit("if _t >= st.gate:")
@@ -439,7 +495,9 @@ class _MethodCodegen:
                 # the handler call is what lets samplers, the adaptive
                 # system, and resilience fault sites fire unchanged
                 # under blockjit.
-                seg.emit("vm.cycles += _cyc")
+                expr = seg.cyc_expr()
+                seg.pending = []
+                seg.emit(f"vm.cycles += {expr}")
                 seg.emit("_cyc = 0.0")
                 seg.emit("if vm.cycles >= vm.next_tick:")
                 seg.emit("vm.on_tick()", 2)
@@ -514,7 +572,8 @@ class _MethodCodegen:
             2,
         )
         seg.writebacks()
-        seg.emit("st.cyc = _cyc")
+        seg.emit(f"st.cyc = {seg.cyc_expr()}")
+        seg.pending = []
         seg.emit("return _CALL")
 
     def _succ_name(self, succ: LoweredBlock) -> str:
@@ -527,28 +586,35 @@ class _MethodCodegen:
         if t == T_RET:
             value = seg.rd(term[2]) if term[2] is not None else "0"
             # No register write-backs: the frame is dead.
-            seg.emit("st.cyc = _cyc")
+            seg.emit(f"st.cyc = {seg.cyc_expr()}")
+            seg.pending = []
             seg.emit(f"st.ret_value = {value}")
             seg.emit("return None")
         elif t == T_JMP:
             seg.writebacks()
-            seg.emit("st.cyc = _cyc")
+            seg.emit(f"st.cyc = {seg.cyc_expr()}")
+            seg.pending = []
             seg.emit(f"return {self._succ_name(term[2])}")
         elif t == T_BR:
             a = seg.rd(term[3])
             b = seg.rd(term[4])
             mask = _mask(term[10])
             origin = self._origin_names.get(block.label)
+            # Each arm extends the shared pre-branch chain with its own
+            # penalty/edge constants before folding at its exit store.
+            shared = list(seg.pending)
             seg.emit(f"if {a} {_cmp_text(term[2])} {b}:")
             self._gen_arm(
                 seg, True, term[7], term[8],
                 origin if mask & 1 else None, term[11], term[5],
             )
+            seg.pending = list(shared)
             seg.emit("else:")
             self._gen_arm(
                 seg, False, term[7], term[8],
                 origin if mask & 2 else None, term[11], term[6],
             )
+            seg.pending = []
         elif t == T_BRCMP:
             k = term[2]
             if k < 0:
@@ -566,16 +632,19 @@ class _MethodCodegen:
             seg.emit(f"{seg.wr(term[7])} = {term[8]!r}")
             mask = _mask(term[15])
             origin = self._origin_names.get(block.label)
+            shared = list(seg.pending)
             seg.emit(f"if {tvar} {_cmp_text(term[9])} {term[8]!r}:")
             self._gen_arm(
                 seg, True, term[12], term[13],
                 origin if mask & 1 else None, term[16], term[10],
             )
+            seg.pending = list(shared)
             seg.emit("else:")
             self._gen_arm(
                 seg, False, term[12], term[13],
                 origin if mask & 2 else None, term[16], term[11],
             )
+            seg.pending = []
         else:  # pragma: no cover - lowering emits only known terminators
             raise VMError(f"blockjit cannot compile terminator {t}")
 
@@ -595,7 +664,7 @@ class _MethodCodegen:
             seg.emit(f"vm.edge_profile.record({origin}, {taken})", 2)
             seg.cost(edge_cost, 2)
         seg.writebacks(2)
-        seg.emit("st.cyc = _cyc", 2)
+        seg.emit(f"st.cyc = {seg.cyc_expr()}", 2)
         seg.emit(f"return {self._succ_name(succ)}", 2)
 
 

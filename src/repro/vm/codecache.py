@@ -34,9 +34,11 @@ from repro.bytecode.disasm import format_instr, format_terminator
 from repro.bytecode.method import Method, Program
 from repro.profiling.edges import EdgeProfile
 from repro.util.flags import (
+    fixedcost_enabled,
     pgo_inline_enabled,
     pgo_layout_enabled,
     samplefast_enabled,
+    warmjit_enabled,
 )
 from repro.util.rng import stable_hash
 from repro.vm.costs import CostModel
@@ -73,7 +75,16 @@ DEFAULT_BOUND = 2048
 # Format-5 entries know none of this, so a format-5 cache loaded under
 # format 6 is dropped wholesale — flag flips within format 6 miss
 # cleanly through the key/fingerprint components instead.
-_FORMAT = 6
+# Format 7: CompiledMethod pickles additionally carry the fixed-point
+# fold verdict (``fold_q``, DESIGN.md §15) which selects the persisted
+# ``jit_source``/``sb_source`` chain shape, the keys gained the
+# resolved ``REPRO_FIXEDCOST``/``REPRO_WARMJIT`` flags, the ``sb_*``
+# slots may carry warm token ladders (``sb_path == -1``), and
+# ``sb_fingerprint`` folds in the fold verdict.  Format-6 entries
+# predate all of that (and the recalibrated dyadic tier multipliers
+# shift their cost fingerprints anyway), so a format-6 cache loaded
+# under format 7 is dropped wholesale.
+_FORMAT = 7
 
 
 # -- fingerprints -----------------------------------------------------------
@@ -180,6 +191,12 @@ def optimize_key(
         pgo_layout_enabled(),
         pgo_inline_enabled(),
         bool(min_coverage),
+        # Resolved fixed-point / warm-ladder components (format 7): the
+        # fold verdict is taken at lowering and baked into every
+        # generated source's chain shape, and a persisted warm ladder
+        # must never revive under REPRO_WARMJIT=0 via a key hit.
+        fixedcost_enabled(),
+        warmjit_enabled(),
     )
 
 
@@ -202,6 +219,8 @@ def baseline_key(
         # the flag is on (canonical order, byte-identical source) — the
         # resolved flag keeps the keyspace aligned with optimize_key.
         pgo_layout_enabled(),
+        # Format 7: the fold verdict shapes baseline jit_source too.
+        fixedcost_enabled(),
     )
 
 

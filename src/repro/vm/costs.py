@@ -13,6 +13,18 @@ hash-based path instrumentation costs tens of percent (92% average in the
 paper), per-branch edge instrumentation costs around ten percent, and
 PEP's register adds cost around one percent.
 
+Fixed-point cost grid
+---------------------
+Every charge the model can produce lies on the dyadic grid of multiples
+of ``2**-FOLD_SHIFT`` (the base costs are halves, the tier multipliers
+are calibrated as exact multiples of 2^-12, and ``sampling_dilation``
+defaults to a power of two).  On that grid IEEE-754 double addition is
+*exact* for any realistic accumulation (sums stay far below
+``2**(53 - FOLD_SHIFT)`` virtual cycles), which means re-associating a
+straight-line cost chain — folding it into one constant at codegen time
+— is bit-identical to charging each op sequentially.  DESIGN.md §15
+develops this; :func:`fold_clean` is the certification predicate.
+
 Sampling-time dilation
 ----------------------
 Our benchmark runs are ~10^4x shorter than the paper's (hundreds of
@@ -29,6 +41,41 @@ substitution.
 """
 
 from __future__ import annotations
+
+#: Fixed-point accounting grid (DESIGN.md §15): a charge is
+#: fixed-representable when it is an exact multiple of ``2**-FOLD_SHIFT``
+#: and bounded by ``FOLD_BOUND``.  Q20 leaves 33 integer bits of exact
+#: headroom (sums below ~8.6e9 virtual cycles — far beyond any
+#: fuel-bounded run), so float addition of grid values never rounds and
+#: the single ``int -> float`` boundary division at a flush is exact.
+FOLD_SHIFT = 20
+FOLD_SCALE = float(1 << FOLD_SHIFT)
+FOLD_BOUND = 2.0 ** 24
+
+#: Methods whose lowered charges failed :func:`fold_clean` certification
+#: and fell back to the legacy float codegen path.  The bench fold_coverage
+#: gate and the tier-1 suite both assert this stays zero under the default
+#: cost model; only genuinely unrepresentable *injected* costs (ablation
+#: benches mutating fields to non-dyadic values) bump it.
+FOLD_REJECTIONS = 0
+
+
+def record_fold_rejection() -> None:
+    """Count one method falling back to float accumulation."""
+    global FOLD_REJECTIONS
+    FOLD_REJECTIONS += 1
+
+
+def fold_clean(value: float) -> bool:
+    """True when ``value`` lies on the fixed-point grid.
+
+    Grid membership is what makes folding sound: products of clean
+    values' sums with exact boundary conversion reproduce sequential
+    float accumulation bit for bit.  NaN/inf and out-of-range magnitudes
+    are rejected (``abs(nan) <= bound`` is False, so they fall out of the
+    first test).
+    """
+    return abs(value) <= FOLD_BOUND and (value * FOLD_SCALE).is_integer()
 
 
 class CostModel:
@@ -99,10 +146,14 @@ class CostModel:
         self.sampling_dilation = 512.0
 
         # Compiled-code quality: unoptimized baseline code runs ~3x slower.
+        # The opt0/opt1 values are calibrated *on the fixed-point grid*
+        # (exact multiples of 2^-12, within 0.01% of the nominal 1.15 /
+        # 1.05) so every tier's per-op charges are fixed-representable
+        # and cost chains fold exactly at codegen time (DESIGN.md §15).
         self.tier_multipliers = {
             "baseline": 3.0,
-            "opt0": 1.15,
-            "opt1": 1.05,
+            "opt0": 4710 / 4096,  # 1.14990234375 ~ nominal 1.15 (-0.0085%)
+            "opt1": 4301 / 4096,  # 1.050048828125 ~ nominal 1.05 (+0.0047%)
             "opt2": 1.0,
         }
 
@@ -133,6 +184,57 @@ class CostModel:
     def scaled_handler(self, raw: float) -> float:
         """A handler cost after sampling-time dilation."""
         return raw / self.sampling_dilation
+
+    def injected_charges(self) -> list:
+        """Every charge the runtime can add to an accumulator *outside*
+        a method's lowered op stream: yieldpoint-handler work, the PEP
+        instrumentation passes, and per-tier compile costs.  Fixed-point
+        certification (``lower_method``) scans these alongside the
+        lowered costs — a single dirty injectable would desynchronise a
+        folded chain from the sequential reference the moment a handler
+        fires inside it."""
+        return [
+            self.scaled_handler(self.handler_stride),
+            self.scaled_handler(self.handler_sample),
+            self.scaled_handler(self.handler_expand_first),
+            self.scaled_handler(self.handler_method_sample),
+            self.pep_pass_cost_per_instr,
+            *self.compile_cost_per_instr.values(),
+        ]
+
+    def chargeable_values(self) -> list:
+        """Every constant this model can bake into lowered code at ANY
+        tier (per-op base costs times each tier multiplier), plus the
+        injected runtime charges.
+
+        This is the *global* certification set for fixed-point folding:
+        the carried accumulator (``st.cyc``) crosses method and tier
+        boundaries, so a folded chain's base is grid-valued only if
+        every method in the program — whatever its tier — charges grid
+        values.  A superset of what any one method actually charges,
+        which is exactly the conservatism certification wants.
+        """
+        base = [
+            self.simple_op,
+            self.mem_op,
+            self.newarr_op,
+            self.call_op,
+            self.ret_op,
+            self.emit_op,
+            self.jmp_op,
+            self.branch_op,
+            self.branch_mislayout_penalty,
+            self.yieldpoint_op,
+            self.pep_init,
+            self.pep_add,
+            self.path_count_hash,
+            self.path_count_array,
+            self.edge_count,
+        ]
+        out = self.injected_charges()
+        for mult in self.tier_multipliers.values():
+            out.extend(value * mult for value in base)
+        return out
 
     def copy(self) -> "CostModel":
         other = CostModel()

@@ -30,8 +30,13 @@ from repro.bytecode.method import Method
 from repro.cfg.dag import PDag
 from repro.errors import FuelExhaustedError, GuestTrapError, VMError
 from repro.profiling.regenerate import PathResolver
-from repro.util.flags import samplefast_enabled
-from repro.vm.costs import CostModel
+from repro.util.flags import fixedcost_enabled, samplefast_enabled
+from repro.vm.costs import (
+    FOLD_SHIFT,
+    CostModel,
+    fold_clean,
+    record_fold_rejection,
+)
 
 # Binop kind codes (comparisons are >= _CMP_BASE).
 KIND_CODES = {
@@ -172,6 +177,7 @@ class CompiledMethod:
         "pgo_layout",
         "pgo_inline",
         "probe_plan",
+        "fold_q",
     )
 
     def __init__(
@@ -219,6 +225,13 @@ class CompiledMethod:
         self.pgo_layout: Optional[tuple] = None
         self.pgo_inline: Optional[dict] = None
         self.probe_plan = None
+        # Fixed-point certification verdict (DESIGN.md §15), set by
+        # :func:`lower_method`: the grid shift (every lowered charge and
+        # cost-model injectable is an exact multiple of ``2**-fold_q``,
+        # so codegen may fold whole cost chains), ``0`` when
+        # certification failed (per-method float fallback), or ``None``
+        # under ``REPRO_FIXEDCOST=0`` (legacy clean-dyadic codegen).
+        self.fold_q: Optional[int] = None
 
     def __getstate__(self) -> dict:
         state = {slot: getattr(self, slot) for slot in self.__slots__}
@@ -302,7 +315,49 @@ def lower_method(
     if method.entry is None:
         raise VMError(f"{method.name}: no entry block")
     cm.entry = cm.blocks[method.entry]
+    if fixedcost_enabled():
+        if _fold_certified(cm, costs):
+            cm.fold_q = FOLD_SHIFT
+        else:
+            cm.fold_q = 0
+            record_fold_rejection()
     return cm
+
+
+def _fold_certified(cm: CompiledMethod, costs: CostModel) -> bool:
+    """True when every charge the accumulator can absorb lies on the
+    fixed-point grid: all lowered op/terminator costs (including the
+    mislayout penalties and edge-probe charges branches add
+    conditionally) plus the model's full cross-tier chargeable set.
+
+    The cross-tier scan (``CostModel.chargeable_values``) is what makes
+    *entry-based* folding sound: the carried ``st.cyc`` arrives at a
+    method entry bearing other methods' charges at other tiers, so the
+    chain base is provably grid-valued only when the whole program's
+    cost universe is.  The value-set mirrors the legacy
+    ``tracefast._fold_safe``, but against the wide Q20 grid instead of
+    the per-method Q12 clean-dyadic gate."""
+    clean = fold_clean
+    for value in costs.chargeable_values():
+        if not clean(value):
+            return False
+    for block in cm.blocks.values():
+        for op in block.ops:
+            if not clean(op[1]):
+                return False
+        term = block.term
+        if term is None:
+            continue
+        if not clean(term[1]):
+            return False
+        t = term[0]
+        if t == T_BR:
+            if not clean(term[8]) or not clean(term[11]):
+                return False
+        elif t == T_BRCMP:
+            if not clean(term[13]) or not clean(term[16]):
+                return False
+    return True
 
 
 def _fuse_const_bin(ops: List[tuple]) -> None:

@@ -654,16 +654,31 @@ def engagement_summary(code: Dict[str, CompiledMethod]) -> dict:
         "blockjit_methods": 0,
         "superblock_installs": 0,
         "tracefast_installs": 0,
+        "warmjit_installs": 0,
         "pgo_inline_sites": 0,
         "min_coverage_methods": 0,
         "probes_placed": 0,
         "probes_full": 0,
+        # Fixed-point fold coverage (DESIGN.md §15): methods whose
+        # lowering certified the Q20 grid vs. methods that fell back to
+        # float chains.  ``fold_rejected`` should be 0 under the
+        # default cost model (the bench gates fold_coverage == 1.0);
+        # ``fold_legacy`` counts methods lowered with the
+        # REPRO_FIXEDCOST kill switch off.
+        "fold_certified": 0,
+        "fold_rejected": 0,
+        "fold_legacy": 0,
     }
     for name in sorted(code):
         cm = code[name]
         backend = None
         if cm.sb_source is not None:
-            backend = "tracefast" if "def _m(" in cm.sb_source else "superblock"
+            if cm.sb_path == -1:
+                backend = "warm-ladder"
+            elif "def _m(" in cm.sb_source:
+                backend = "tracefast"
+            else:
+                backend = "superblock"
         probe_mode = None
         if cm.probe_plan is not None:
             probe_mode = "min-coverage"
@@ -686,6 +701,14 @@ def engagement_summary(code: Dict[str, CompiledMethod]) -> dict:
             totals["tracefast_installs"] += 1
         elif backend == "superblock":
             totals["superblock_installs"] += 1
+        elif backend == "warm-ladder":
+            totals["warmjit_installs"] += 1
+        fold = (
+            "certified" if cm.fold_q
+            else "legacy" if cm.fold_q is None
+            else "rejected"
+        )
+        totals[f"fold_{fold}"] += 1
         totals["pgo_inline_sites"] += inline_sites
         methods[name] = {
             "version": cm.version,
@@ -694,5 +717,11 @@ def engagement_summary(code: Dict[str, CompiledMethod]) -> dict:
             "trace_backend": backend,
             "pgo_inline_sites": inline_sites,
             "probe_mode": probe_mode,
+            "fold": fold,
         }
+    certified = totals["fold_certified"]
+    rejected = totals["fold_rejected"]
+    totals["fold_coverage"] = (
+        certified / (certified + rejected) if certified + rejected else None
+    )
     return {"methods": methods, "totals": totals}

@@ -213,6 +213,7 @@ def _emit_arm(
     succ: LoweredBlock,
     next_label: str,
     is_last: bool,
+    force_flush: bool = False,
 ) -> None:
     start = len(seg.body)
     if taken != layout_then:
@@ -223,17 +224,32 @@ def _emit_arm(
     if succ.label == next_label:
         # On-trace: fall through into the next block's code (or close
         # the loop).  The guard charged its penalty/edge costs exactly
-        # as the plain arm does; no writebacks, no dispatch.
+        # as the plain arm does; no writebacks, no dispatch.  Under
+        # fixed-point accounting a loop close folds the pending chain
+        # into the accumulator first (the loop body's text re-executes,
+        # so costs cannot stay pending across the back edge); a
+        # degenerate both-arms-fall-through branch flushes per arm
+        # (``force_flush``) because the join cannot carry two different
+        # pending chains.
         if is_last:
+            if seg.pending:
+                seg.emit(f"_cyc = {seg.cyc_expr()}", 2)
+                seg.pending = []
             seg.emit("continue", 2)
-        elif len(seg.body) == start:
-            seg.emit("pass", 2)
+        else:
+            if force_flush and seg.pending:
+                seg.emit(f"_cyc = {seg.cyc_expr()}", 2)
+                seg.pending = []
+            if len(seg.body) == start:
+                seg.emit("pass", 2)
     else:
         # Side exit: flush every trace-dirty register (iteration >= 2
         # may hold values regs[] never saw) and fall back to the plain
-        # segment trampoline.
+        # segment trampoline.  ``cyc_expr`` folds any pending chain
+        # into the store (legacy mode: the literal ``_cyc``).
         seg.writebacks(2)
-        seg.emit("st.cyc = _cyc", 2)
+        seg.emit(f"st.cyc = {seg.cyc_expr()}", 2)
+        seg.pending = []
         seg.emit(f"return {cg._succ_name(succ)}", 2)
 
 
@@ -252,24 +268,42 @@ def _emit_term(
         # Validated on-trace: the jump is a fallthrough (or the loop
         # close) — the entire saving over plain blockjit.
         if is_last:
+            if seg.pending:
+                seg.emit(f"_cyc = {seg.cyc_expr()}")
+                seg.pending = []
             seg.emit("continue")
     elif t == T_BR:
         a = seg.rd(term[3])
         b = seg.rd(term[4])
         mask = _mask(term[10])
         origin = origin_names.get(block.label)
+        # Fixed-point accounting: each arm folds the shared pending
+        # prefix plus its own penalty/edge constants independently
+        # (mirrors blockjit's shared-pending branch handling); exactly
+        # the on-trace fallthrough arm's pending survives the join.
+        both = term[5].label == next_label and term[6].label == next_label
+        shared = list(seg.pending)
         seg.emit(f"if {a} {_cmp_text(term[2])} {b}:")
         _emit_arm(
             cg, seg, True, term[7], term[8],
             origin if mask & 1 else None, term[11],
-            term[5], next_label, is_last,
+            term[5], next_label, is_last, both,
         )
+        after_true = seg.pending
+        seg.pending = list(shared)
         seg.emit("else:")
         _emit_arm(
             cg, seg, False, term[7], term[8],
             origin if mask & 2 else None, term[11],
-            term[6], next_label, is_last,
+            term[6], next_label, is_last, both,
         )
+        after_false = seg.pending
+        if term[5].label == next_label and not is_last and not both:
+            seg.pending = after_true
+        elif term[6].label == next_label and not is_last and not both:
+            seg.pending = after_false
+        else:
+            seg.pending = []
     elif t == T_BRCMP:
         k = term[2]
         if k < 0:
@@ -284,18 +318,29 @@ def _emit_term(
         seg.emit(f"{seg.wr(term[7])} = {term[8]!r}")
         mask = _mask(term[15])
         origin = origin_names.get(block.label)
+        both = term[10].label == next_label and term[11].label == next_label
+        shared = list(seg.pending)
         seg.emit(f"if {tvar} {_cmp_text(term[9])} {term[8]!r}:")
         _emit_arm(
             cg, seg, True, term[12], term[13],
             origin if mask & 1 else None, term[16],
-            term[10], next_label, is_last,
+            term[10], next_label, is_last, both,
         )
+        after_true = seg.pending
+        seg.pending = list(shared)
         seg.emit("else:")
         _emit_arm(
             cg, seg, False, term[12], term[13],
             origin if mask & 2 else None, term[16],
-            term[11], next_label, is_last,
+            term[11], next_label, is_last, both,
         )
+        after_false = seg.pending
+        if term[10].label == next_label and not is_last and not both:
+            seg.pending = after_true
+        elif term[11].label == next_label and not is_last and not both:
+            seg.pending = after_false
+        else:
+            seg.pending = []
     else:  # pragma: no cover - trace_blocks validated the terminators
         raise VMError(f"superblock cannot compile terminator {t}")
 
@@ -320,7 +365,10 @@ def _emit_trace(
         seg.emit(f"_fuel = st.fuel - {n + 1}")
         seg.emit("st.fuel = _fuel")
         seg.emit("if _fuel < 0:")
-        seg.emit("vm.cycles += _cyc", 2)
+        # The cold raise observes the exact accumulated cycles; under
+        # fixed-point accounting any pending chain folds into the read
+        # without the hot path ever flushing.
+        seg.emit(f"vm.cycles += {seg.cyc_expr()}", 2)
         seg.emit(
             "raise _Fuel('instruction budget exhausted', method=_pk, "
             f"block={label!r}, instruction_index=0, cycles=vm.cycles)",
@@ -351,7 +399,13 @@ def generate_trace_source(
     cg = _MethodCodegen(cm)
     origin_names = _origin_names(cm)
     # Pass 1 discovers the registers the whole trace touches / dirties.
+    # Both passes inherit the method's fixed-point certification verdict
+    # (DESIGN.md §15): a certified method's trace folds every
+    # straight-line cost chain exactly like its plain segments do, and
+    # the legacy (uncertified / kill-switch) text is byte-identical to
+    # the pre-§15 backend.
     probe = _Segment()
+    probe.fixed = cg._fixed
     _emit_trace(cg, trace, probe, origin_names)
     touched = sorted(probe._bound | probe.dirty)
     # Pass 2 emits the real body: all touched registers are pre-bound
@@ -359,6 +413,7 @@ def generate_trace_source(
     # trace's so every side exit writes back everything it may have
     # changed on any earlier iteration.
     seg = _Segment()
+    seg.fixed = cg._fixed
     seg._bound = set(touched)
     seg.dirty = set(probe.dirty)
     _emit_trace(cg, trace, seg, origin_names)
@@ -399,7 +454,14 @@ def superblock_fingerprint(cm: CompiledMethod, path_number: int) -> int:
         # Format 6: the resolved PGO flags and the advice they shaped
         # (layout order, inline plans) are part of the generated source;
         # a flag flip or advice change must miss, never reuse.
-        f"pgo{pgo_fingerprint(cm)}"
+        f"pgo{pgo_fingerprint(cm)}|"
+        # Format 7: the fold verdict selects the tracefast chain shape
+        # (fixed-point vs legacy-gated vs textual), so sources from
+        # different verdicts — including a REPRO_FIXEDCOST flip, which
+        # moves fold_q between None and 20 — must never cross.  The
+        # warm ladder (path_number == -1) flows through the path
+        # component naturally.
+        f"fq{cm.fold_q}"
     )
 
 
@@ -453,6 +515,11 @@ def install_superblock(
     ``costs`` (the run's :class:`~repro.vm.costs.CostModel`) is optional
     and only unlocks tracefast's exact cost-chain folding — omitting it
     is always safe, merely slower.
+
+    ``path_number == tracefast.WARM_PATH`` (-1) requests the warm
+    token ladder, a tracefast-only artefact: with the tracefast backend
+    off the request degrades cleanly to False (``trace_blocks`` rejects
+    the sentinel), exactly like an ineligible path.
     """
     from repro.util.flags import tracefast_enabled
 
@@ -496,6 +563,32 @@ def reinstall_persisted(cm: CompiledMethod, entries: dict) -> None:
     if not superblock_enabled():
         return
     path = cm.sb_path
+    if path == -1:
+        # A persisted warm ladder (tracefast.WARM_PATH).  With either
+        # the tracefast backend or the warm tier switched off, keep the
+        # artefacts untouched and install nothing — the same semantics
+        # the REPRO_SUPERBLOCK kill switch gives real traces: a later
+        # enabled process revives them.
+        from repro.util.flags import tracefast_enabled, warmjit_enabled
+
+        if not (tracefast_enabled() and warmjit_enabled()):
+            return
+        ok = False
+        if cm.dag is not None and cm.sb_source is not None:
+            try:
+                if cm.sb_fingerprint == superblock_fingerprint(cm, path):
+                    from repro.vm import tracefast
+
+                    tracefast.install_source(cm, cm.sb_source, None, entries)
+                    ok = True
+            except Exception:
+                ok = False
+        if not ok:
+            cm.sb_source = None
+            cm.sb_path = None
+            cm.sb_fingerprint = None
+            cm.sb_entry = None
+        return
     ok = False
     if path is not None and cm.dag is not None and cm.sb_source is not None:
         try:

@@ -94,10 +94,25 @@ def test_engine_equivalence_calls(mode):
 
 @pytest.mark.parametrize("tier", ["baseline", "opt0", "opt1", "opt2"])
 def test_engine_equivalence_every_tier(tier):
-    # opt0/opt1 multipliers (1.15/1.05) make per-op costs non-dyadic:
-    # exact cycle equality here proves the codegen never re-associates
-    # the float cost accumulation.
+    # The opt0/opt1 multipliers are calibrated on the 2**-12 dyadic grid
+    # (4710/4096 and 4301/4096, DESIGN.md §15), so fixed-point folding
+    # re-associates cost chains exactly; equality here proves both the
+    # folded and the sequential shapes charge identical cycles per tier.
     _assert_identical(*_run_engines(call_program(), mode="pep", tier=tier))
+
+
+@pytest.mark.parametrize("tier", ["opt0", "opt1"])
+def test_engine_equivalence_dirty_tier_multiplier(tier):
+    # A genuinely non-dyadic multiplier (the pre-§15 nominal 1.15/1.05)
+    # makes per-op costs off-grid: lowering must reject fixed-point
+    # certification and fall back to the legacy float path, whose exact
+    # cycle equality proves that codegen never re-associates.
+    costs = CostModel()
+    costs.tier_multipliers["opt0"] = 1.15
+    costs.tier_multipliers["opt1"] = 1.05
+    _assert_identical(
+        *_run_engines(call_program(), mode="pep", tier=tier, costs=costs)
+    )
 
 
 @pytest.mark.parametrize("seed", range(10))

@@ -114,6 +114,7 @@ def test_fault_sites_cover_the_hot_layers():
         "advice-load",
         "superblock-compile",
         "tracefast-compile",
+        "warmjit-compile",
         # Engine-level sites (supervised sweep engine, DESIGN.md §12).
         "worker-crash",
         "worker-hang",
