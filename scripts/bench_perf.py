@@ -44,7 +44,7 @@ _SRC = os.path.join(_ROOT, "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
-SCHEMA = 7
+SCHEMA = 8
 REGRESSION_TOLERANCE = 0.25  # fail --check on >25% normalized slowdown
 # Minimum acceptable serial/parallel speedup when the runner actually
 # has cores to parallelize over (generous: contention on loaded CI
@@ -88,6 +88,11 @@ PGO_SPEEDUP_FLOOR = 1.1
 # dispatch for warm methods with NO dominant path) over plain blockjit
 # on the braided no-dominant-path workload.  Full runs only.
 WARMJIT_SPEEDUP_FLOOR = 1.3
+# Minimum speedup of a k-iteration superblock trace (DESIGN.md §16) over
+# the warm token ladder on the bimodal alternating-arm workload: the
+# 2-iteration trace keeps both arms in straight-line promoted-register
+# code where the ladder re-dispatches every block.  Full runs only.
+KBLPP_SPEEDUP_FLOOR = 1.3
 
 
 # -- calibration ------------------------------------------------------------
@@ -783,6 +788,275 @@ def bench_warmjit(quick: bool) -> dict:
     }
 
 
+# -- k-iteration traces (DESIGN.md §16) --------------------------------------
+
+
+def _bimodal_program(calls: int, inner: int):
+    """main calls a helper whose loop strictly alternates two arms.
+
+    Each arm is ~half the 1-path mass (the prologue dilutes both below
+    the 0.5 dominance threshold on short trips; on long trips they sit
+    *at* 50/50), so 1-path formation at best installs the warm ladder —
+    while one 2-iteration window is dominant and stitchable.  The
+    k-BLPP shape (arXiv 1304.5197).
+    """
+    from repro.bytecode.builder import ProgramBuilder
+
+    pb = ProgramBuilder("bimodal")
+    helper = pb.function("helper", ["n"])
+    n = helper.p("n")
+    acc = helper.local(0)
+
+    def body(i):
+        def arm_a():
+            helper.assign(acc, acc + n)
+            helper.assign(acc, acc + 1)
+            helper.assign(acc, acc + i)
+            helper.assign(acc, acc * 1)
+            helper.assign(acc, acc + 2)
+            helper.assign(acc, acc + i)
+            helper.assign(acc, acc - 1)
+            helper.assign(acc, acc + 1)
+
+        def arm_b():
+            helper.assign(acc, acc * 1)
+            helper.assign(acc, acc + 2)
+            helper.assign(acc, acc + i)
+            helper.assign(acc, acc + n)
+            helper.assign(acc, acc - 1)
+            helper.assign(acc, acc + i)
+            helper.assign(acc, acc + 1)
+            helper.assign(acc, acc + 1)
+
+        helper.if_((i % 2).eq(0), arm_a, arm_b)
+
+    helper.for_range(0, inner, 1, body)
+    helper.ret(acc)
+
+    f = pb.function("main")
+    total = f.local(0)
+    f.for_range(0, calls, 1,
+                lambda i: f.assign(total, total + f.call("helper", i)))
+    f.emit(total)
+    f.ret(total)
+    return pb.build()
+
+
+def _trace_continuation(schema, window_counts, head, expected_next):
+    """P(next window continues the trace) from a sampled window table.
+
+    Among full 2-windows starting with 1-path ``head``, the share whose
+    second component is ``expected_next`` — the probability execution
+    stays on a trace that just finished iterating ``head``.  None when
+    no window starts with ``head``.
+    """
+    on_trace = 0.0
+    total = 0.0
+    for number, count in window_counts.items():
+        window = schema.split_window(number)
+        if window is None or len(window) != 2 or window[0] != head:
+            continue
+        total += count
+        if window[1] == expected_next:
+            on_trace += count
+    return on_trace / total if total > 0 else None
+
+
+def bench_kblpp(quick: bool) -> dict:
+    """Bimodal-loop throughput: warm token ladder vs the k-trace.
+
+    A pilot *sampled* run collects the helper's shadow k-path window
+    table; the dominant stitchable window (the real §16 promotion
+    decision, via :func:`find_dominant_kpath` at the rotation-corrected
+    threshold) is stitched into a 2-iteration trace on one image while
+    the other gets the warm ladder — the tier the same method lands on
+    without k-BLPP.  A cycle-parity probe asserts bit-identity before
+    the timed reps; ``kblpp_speedup`` is gated by
+    ``KBLPP_SPEEDUP_FLOOR`` on full runs.
+
+    Also emits the accuracy-vs-overhead PEP(S,K) grid: for each
+    sampling config, the trace-continuation probability of the best
+    1-path trace (k=1) vs the best 2-window trace (k=2) — the k=1
+    column shows exactly why the bimodal kernel needs k-BLPP.
+    """
+    import gc
+
+    from repro.instrument.pep import apply_pep
+    from repro.instrument.yieldpoints import insert_yieldpoints
+    from repro.profiling.kpaths import shared_schema
+    from repro.sampling.arnold_grove import make_sampler
+    from repro.util import flags
+    from repro.util.flags import (
+        kblpp_enabled,
+        kblpp_k,
+        tracefast_enabled,
+        warmjit_enabled,
+    )
+    from repro.vm.costs import CostModel
+    from repro.vm.interpreter import lower_method
+    from repro.vm.runtime import VirtualMachine
+    from repro.vm.superblock import (
+        encode_kpath,
+        find_dominant_kpath,
+        find_dominant_path,
+        install_superblock,
+        trace_blocks,
+    )
+    from repro.vm.tracefast import WARM_PATH
+
+    calls = 30 if quick else 60
+    reps = 4 if quick else 8
+    program = _bimodal_program(calls=calls, inner=512)
+    costs = CostModel()
+    k = kblpp_k()
+
+    def pep_image():
+        code = {}
+        for method in program.iter_methods():
+            clone = method.clone()
+            insert_yieldpoints(clone)
+            inst = apply_pep(clone, None)
+            cm = lower_method(clone, "opt2", costs)
+            if inst is not None:
+                cm.attach_dag(inst.dag)
+            code[method.name] = cm
+        return code
+
+    if not (tracefast_enabled() and warmjit_enabled() and kblpp_enabled()):
+        return {
+            "workloads": ["bimodal"],
+            "kblpp_installed": False,
+            "note": "REPRO_TRACEFAST=0, REPRO_WARMJIT=0 or REPRO_KBLPP=0",
+        }
+
+    # Pilot: sample the plain image to fill the shadow window table.
+    pilot_code = pep_image()
+    pilot_vm = VirtualMachine(pilot_code, program.main, costs=costs)
+    pilot_cycles = pilot_vm.run().cycles
+    sampled_vm = VirtualMachine(
+        pilot_code, program.main, costs=costs,
+        tick_interval=pilot_cycles / 200.0, sampler=make_sampler(64, 17),
+    )
+    sampled_vm.run()
+    helper_cm = pilot_code["helper"]
+    helper_key = helper_cm.profile_key
+    window_counts = sampled_vm.kpath_profile.method_paths(helper_key)
+    dominant = find_dominant_kpath(window_counts, 0.5 / k, 8.0)
+    encoded = encode_kpath(dominant) if dominant is not None else None
+    if encoded is None or trace_blocks(helper_cm, encoded) is None:
+        return {
+            "workloads": ["bimodal"],
+            "kblpp_installed": False,
+            "note": "no stitchable dominant k-window sampled",
+        }
+
+    images = {"warmjit": pep_image(), "kblpp": pep_image()}
+    _tf_old = flags.TRACEFAST
+    flags.TRACEFAST = True
+    try:
+        if not install_superblock(images["warmjit"]["helper"], WARM_PATH,
+                                  costs):
+            return {
+                "workloads": ["bimodal"],
+                "kblpp_installed": False,
+                "note": "warm-ladder baseline declined to install",
+            }
+        if not install_superblock(images["kblpp"]["helper"], encoded, costs):
+            return {
+                "workloads": ["bimodal"],
+                "kblpp_installed": False,
+                "note": f"k-window {dominant} declined to install",
+            }
+    finally:
+        flags.TRACEFAST = _tf_old
+
+    # Cycle-parity probe (also the warmup): the k-trace must account the
+    # exact virtual cycles of the warm ladder or the timing is invalid.
+    probes = {}
+    for label, code in images.items():
+        vm = VirtualMachine(code, program.main, costs=costs, blockjit=True)
+        res = vm.run()
+        probes[label] = (res.cycles, res.return_value, tuple(vm.output))
+    if probes["warmjit"] != probes["kblpp"]:
+        raise AssertionError(f"k-trace diverged from warm ladder: {probes}")
+
+    best = {label: float("inf") for label in images}
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(reps):
+            for label, code in images.items():
+                vm = VirtualMachine(
+                    code, program.main, costs=costs, blockjit=True
+                )
+                t0 = time.perf_counter()
+                vm.run()
+                best[label] = min(best[label], time.perf_counter() - t0)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+    # PEP(S,K) accuracy-vs-overhead grid (k=1 vs k=2 coverage).  The
+    # continuation metric needs 2-windows, so the grid is only emitted
+    # at the default k.
+    grid = {}
+    schema = shared_schema(helper_cm.dag, 2) if k == 2 else None
+    if schema is not None:
+        configs = [(4, 3), (16, 17), (64, 17)]
+        if quick:
+            configs = configs[:2]
+        for samples, stride in configs:
+            grid_code = pep_image()
+            grid_vm = VirtualMachine(
+                grid_code, program.main, costs=costs,
+                tick_interval=pilot_cycles / 200.0,
+                sampler=make_sampler(samples, stride),
+            )
+            grid_vm.run()
+            key = grid_code["helper"].profile_key
+            counts1 = grid_vm.path_profile.method_paths(key)
+            counts2 = grid_vm.kpath_profile.method_paths(key)
+            best_win = find_dominant_kpath(counts2, 0.5 / 2, 8.0)
+            cell = {
+                "samples_taken": grid_vm.samples_taken,
+                # On the bimodal kernel no 1-path is ever dominant, so
+                # the k=1 column scores the trace a greedy 1-path former
+                # *would* pick: the most-sampled path, continuation
+                # measured the same way as the k=2 trace.
+                "k1_dominant": find_dominant_path(counts1, 0.5, 8.0)
+                is not None,
+                "k1_trace_continuation": None,
+                "k2_trace_continuation": None,
+            }
+            if counts1:
+                top_1path = max(counts1, key=counts1.get)
+                cell["k1_trace_continuation"] = _trace_continuation(
+                    schema, counts2, top_1path, top_1path
+                )
+            if best_win is not None:
+                window = schema.split_window(best_win)
+                if window is not None and len(window) == 2:
+                    cell["k2_trace_continuation"] = _trace_continuation(
+                        schema, counts2, window[1], window[0]
+                    )
+            grid[f"PEP({samples},{stride})"] = cell
+
+    cycles = probes["warmjit"][0]
+    return {
+        "workloads": ["bimodal"],
+        "calls": calls,
+        "reps": reps,
+        "k": k,
+        "dominant_kwindow": dominant,
+        "kblpp_installed": True,
+        "cycles": cycles,
+        "warmjit_vcycles_per_sec": cycles / best["warmjit"],
+        "kblpp_vcycles_per_sec": cycles / best["kblpp"],
+        "kblpp_speedup": best["warmjit"] / best["kblpp"],
+        "pep_grid": grid,
+    }
+
+
 # -- fixed-point fold coverage (DESIGN.md §15) -------------------------------
 
 
@@ -1376,6 +1650,7 @@ def append_history(report: dict, path: str) -> None:
             "tracefast_speedup"
         ),
         "warmjit_speedup": metrics.get("warmjit", {}).get("warmjit_speedup"),
+        "kblpp_speedup": metrics.get("kblpp", {}).get("kblpp_speedup"),
         "fold_coverage": metrics.get("foldcov", {}).get("fold_coverage"),
         "pgo_speedup": metrics.get("pgo", {}).get("pgo_speedup"),
         "probe_reduction": metrics.get("pgo", {}).get("probe_reduction"),
@@ -1465,7 +1740,8 @@ def main(argv=None) -> int:
         action="append",
         choices=[
             "interpreter", "sampling", "superblock", "tracefast", "warmjit",
-            "foldcov", "aot", "pgo", "lowering", "reconstruction", "sweep",
+            "kblpp", "foldcov", "aot", "pgo", "lowering", "reconstruction",
+            "sweep",
         ],
         default=None,
         help="run only the named stage (repeatable; default: all). "
@@ -1489,6 +1765,7 @@ def main(argv=None) -> int:
         ("superblock", lambda: bench_superblock(args.quick)),
         ("tracefast", lambda: bench_tracefast(args.quick)),
         ("warmjit", lambda: bench_warmjit(args.quick)),
+        ("kblpp", lambda: bench_kblpp(args.quick)),
         ("foldcov", lambda: bench_foldcov(args.quick)),
         ("aot", lambda: bench_aot(args.quick)),
         ("pgo", lambda: bench_pgo(args.quick)),
@@ -1534,7 +1811,7 @@ def main(argv=None) -> int:
         for name in args.stage:
             stage_metrics = metrics.get(name, {})
             for key in ("superblock_speedup", "tracefast_speedup",
-                        "warmjit_speedup", "pgo_speedup"):
+                        "warmjit_speedup", "kblpp_speedup", "pgo_speedup"):
                 if key in stage_metrics:
                     print(f"bench_perf: {key} {stage_metrics[key]:.2f}x")
             if stage_metrics.get("fold_coverage") is not None:
@@ -1549,6 +1826,7 @@ def main(argv=None) -> int:
     superblock = metrics["superblock"]
     tracefast = metrics["tracefast"]
     warmjit = metrics["warmjit"]
+    kblpp = metrics["kblpp"]
     foldcov = metrics["foldcov"]
     pgo = metrics["pgo"]
     sb_text = (
@@ -1577,6 +1855,11 @@ def main(argv=None) -> int:
         if foldcov.get("fold_coverage") is not None
         else "n/a"
     )
+    kb_text = (
+        f"{kblpp['kblpp_speedup']:.2f}x"
+        if kblpp.get("kblpp_installed")
+        else "n/a"
+    )
     print(
         f"bench_perf: blockjit speedup {interp['blockjit_speedup']:.2f}x "
         f"over the tuple interpreter, fusion speedup "
@@ -1584,6 +1867,7 @@ def main(argv=None) -> int:
         f"{sampling['sampling_wall_overhead']:.2f}x, superblock hot-loop "
         f"speedup {sb_text}, tracefast speedup {tf_text} over the "
         f"superblock, warm-ladder speedup {wj_text} over plain blockjit, "
+        f"k-trace bimodal speedup {kb_text} over the warm ladder, "
         f"fold coverage {fc_text}, pgo speedup {pgo_text}, parallel speedup "
         f"{sweep['parallel_speedup']:.2f}x ({sweep['jobs']} jobs on "
         f"{cpu_count} cores), digests_match={sweep['digests_match']}"
@@ -1630,6 +1914,16 @@ def main(argv=None) -> int:
                 f"bench_perf: FATAL warm-ladder speedup "
                 f"{warmjit['warmjit_speedup']:.3f}x below the "
                 f"{WARMJIT_SPEEDUP_FLOOR:.2f}x floor"
+            )
+            rc = 1
+    # k-trace-over-warm-ladder floor on the bimodal workload (full runs
+    # only; REPRO_KBLPP=0 runs report n/a and skip the gate).
+    if not args.quick and kblpp.get("kblpp_installed"):
+        if kblpp["kblpp_speedup"] < KBLPP_SPEEDUP_FLOOR:
+            print(
+                f"bench_perf: FATAL k-trace bimodal speedup "
+                f"{kblpp['kblpp_speedup']:.3f}x below the "
+                f"{KBLPP_SPEEDUP_FLOOR:.2f}x floor"
             )
             rc = 1
     # Fold coverage is deterministic, so it gates quick runs too: the

@@ -23,12 +23,20 @@ from repro.sampling.arnold_grove import (
 from repro.adaptive.baseline import compile_baseline
 from repro.adaptive.optimizing import optimize_method
 from repro.util.flags import (
+    kblpp_enabled,
+    kblpp_k,
     superblock_enabled,
     tracefast_enabled,
     warmjit_enabled,
 )
 from repro.vm.costs import CostModel
-from repro.vm.superblock import find_dominant_path, install_superblock
+from repro.vm.superblock import (
+    encode_kpath,
+    find_dominant_kpath,
+    find_dominant_path,
+    install_superblock,
+    trace_blocks,
+)
 from repro.vm.tracefast import WARM_PATH
 from repro.vm.interpreter import CompiledMethod
 from repro.vm.runtime import VirtualMachine
@@ -45,6 +53,7 @@ class AdaptiveConfig:
         "superblock_threshold",
         "superblock_min_samples",
         "warmjit_min_samples",
+        "kpath_threshold",
     )
 
     def __init__(
@@ -56,6 +65,7 @@ class AdaptiveConfig:
         superblock_threshold: float = 0.5,
         superblock_min_samples: float = 8.0,
         warmjit_min_samples: float = 4.0,
+        kpath_threshold: Optional[float] = None,
     ) -> None:
         # thresholds: (samples needed, opt level), ascending.
         self.thresholds = thresholds
@@ -79,6 +89,14 @@ class AdaptiveConfig:
         # superblock_min_samples — warm is the consolation tier, and a
         # later dominance event upgrades the ladder to a real trace.
         self.warmjit_min_samples = warmjit_min_samples
+        # Dominance threshold over the k-path window table (DESIGN.md
+        # §16).  None derives ``superblock_threshold / k``: overlapping
+        # windows split a cyclic kernel's mass across its k rotations
+        # (an alternating loop's EO and OE windows each hold ~half the
+        # iteration-pair mass), so a window holding 1/k-th of the
+        # 1-path threshold marks a kernel holding the full threshold's
+        # share of iterations, up to burst-boundary dilution.
+        self.kpath_threshold = kpath_threshold
 
 
 class AdaptiveSystem:
@@ -117,6 +135,20 @@ class AdaptiveSystem:
         self._sb_attempted: set = set()
         self._warm_attempted: set = set()
         self._superblock = superblock_enabled(self.config.superblock)
+        # k-iteration fallback (DESIGN.md §16): when no 1-path dominates
+        # a method, its k-path table may still show a dominant
+        # multi-iteration window worth stitching.  Only consulted when
+        # superblock formation itself is on.
+        self._kblpp = self._superblock and kblpp_enabled()
+        self._kpath_threshold = (
+            self.config.kpath_threshold
+            if self.config.kpath_threshold is not None
+            else self.config.superblock_threshold / kblpp_k()
+        )
+        # (profile key, encoded k-path) pairs that failed trace
+        # eligibility — cached so the controller does not re-expand the
+        # same unstitchable window at every later sample.
+        self._kpath_rejected: set = set()
         # Backend for promoted traces (DESIGN.md §13): the whole-method
         # tracefast tier when enabled, the classic §11 superblock
         # otherwise.  Resolved once so one run uses one tier.
@@ -343,6 +375,14 @@ class AdaptiveSystem:
             self.config.superblock_threshold,
             self.config.superblock_min_samples,
         )
+        if path is None and self._kblpp:
+            # k-iteration fallback (DESIGN.md §16): a bimodal loop whose
+            # 1-paths split the samples may still have a dominant
+            # k-window.  Eligibility is checked *before* the dominance
+            # verdict is burned, so an unstitchable k-path (multi-header
+            # window, fault-demoted table) falls through to the warm
+            # ladder with 1-path dominance left open.
+            path = self._find_kpath(vm, cm, key)
         if path is None:
             # No dominant path (yet): the warm ladder is the consolation
             # tier.  Dominance stays open — a later verdict upgrades the
@@ -416,6 +456,32 @@ class AdaptiveSystem:
             raise
         if installed:
             self.superblock_log.append((source_name, key, path))
+
+    def _find_kpath(
+        self, vm: VirtualMachine, cm: CompiledMethod, key: str
+    ) -> Optional[int]:
+        """A stitchable dominant k-path, encoded, or None.
+
+        Reads the shadow ``vm.kpath_profile`` under the same dominance
+        rule as 1-paths, then pre-validates trace expansion so only a
+        window the backend can actually stitch (a mono-header cyclic
+        window) reaches promotion.  Pure reads, zero virtual cycles;
+        rejected windows are memoised per (version, number).
+        """
+        kpath = find_dominant_kpath(
+            vm.kpath_profile.method_paths(key),
+            self._kpath_threshold,
+            self.config.superblock_min_samples,
+        )
+        if kpath is None:
+            return None
+        encoded = encode_kpath(kpath)
+        if (key, encoded) in self._kpath_rejected:
+            return None
+        if trace_blocks(cm, encoded) is None:
+            self._kpath_rejected.add((key, encoded))
+            return None
+        return encoded
 
     def _maybe_warmjit(
         self,

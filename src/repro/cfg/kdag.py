@@ -1,0 +1,151 @@
+"""The k-iteration path-numbering DAG (k-BLPP, DESIGN.md §16).
+
+D'Elia & Demetrescu's k-iteration Ball-Larus profiling numbers paths
+that span *k* consecutive acyclic paths: where single-iteration PEP ends
+a path at every loop-header sample point, k-BLPP chains up to ``k`` of
+those paths into one number, exposing cross-iteration correlation
+(a loop alternating arms A,B,A,B has no dominant 1-path but exactly one
+dominant 2-path).
+
+The construction here unrolls the PEP P-DAG ``k`` times:
+
+* every node ``n`` (except the shared exit) becomes ``n@0 .. n@k-1``;
+* REAL and ret->EXIT edges are copied per slot;
+* ENTRY->header-bottom dummy edges exist only at slot 0 — windows begin
+  where 1-paths begin;
+* each header-top->EXIT dummy edge at slot ``i < k-1`` becomes a
+  **carry edge** ``top@i -> bottom@i+1``: reaching a sample point
+  mid-window continues the window at the same header's bottom half in
+  the next slot, exactly as execution does (the top block's yieldpoint
+  sequence re-enters the loop at its bottom);
+* at slot ``k-1`` the dummy exit survives, ending the window.
+
+The result is acyclic, so plain :func:`assign_ball_larus_values`
+numbers it; an entry-to-exit path is a window of up to ``k`` chained
+1-paths (shorter only when a ``ret`` ends the window early).
+``kedge_map`` records, per ``(slot, base-edge-index)``, the k-DAG copy
+of each 1-DAG edge — :mod:`repro.profiling.kpaths` uses it to compute a
+window's k-number from precomputed per-slot contributions without ever
+walking the k-DAG at sample time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.cfg.dag import (
+    CARRY,
+    DUMMY_ENTRY,
+    DUMMY_EXIT,
+    EXIT_EDGE,
+    EXIT_NODE,
+    REAL,
+    DagEdge,
+    PDag,
+)
+from repro.errors import CFGError
+
+
+def klabel(label: str, slot: int) -> str:
+    """The slot-``slot`` copy of 1-DAG node ``label``."""
+    return f"{label}@{slot}"
+
+
+def split_klabel(label: str) -> Tuple[str, int]:
+    """Inverse of :func:`klabel`; the exit node lives in slot -1."""
+    if label == EXIT_NODE:
+        return label, -1
+    base, _, slot = label.rpartition("@")
+    try:
+        return base, int(slot)
+    except ValueError:
+        raise CFGError(f"not a k-DAG label: {label!r}") from None
+
+
+class KDag(PDag):
+    """A k-unrolled P-DAG plus the base-edge correspondence.
+
+    ``split_map`` maps every slot's header-top copy to the same slot's
+    bottom copy (mirroring the 1-DAG contract per slot); ``kedge_map``
+    maps ``(slot, index into base_dag.edges)`` to this DAG's copy of
+    that edge.  Slot-0 dummy-entry edges and every slot's carry edge
+    are the only mappings that change kind.
+    """
+
+    __slots__ = ("k", "kedge_map")
+
+    def __init__(self, method_name: str, entry: str, k: int) -> None:
+        super().__init__(method_name, entry)
+        self.k = k
+        self.kedge_map: Dict[Tuple[int, int], DagEdge] = {}
+
+
+def build_k_dag(dag: PDag, k: int) -> KDag:
+    """Unroll a numbered-or-not PEP P-DAG ``k`` times (see module doc).
+
+    Only the *structure* of ``dag`` is read; the returned graph is
+    unnumbered (callers run :func:`assign_ball_larus_values` on it).
+    Requires the PEP construction (``split_map`` populated for every
+    dummy-exit source) — the classic whole-procedure DAG has no sample
+    points to chain windows at.
+    """
+    if k < 1:
+        raise CFGError(f"{dag.method_name}: k must be >= 1, got {k}")
+    kdag = KDag(dag.method_name, klabel(dag.entry, 0), k)
+    for slot in range(k):
+        for node in dag.nodes:
+            if node != EXIT_NODE:
+                kdag.add_node(klabel(node, slot))
+    kdag.add_node(EXIT_NODE)
+
+    for slot in range(k):
+        for index, edge in enumerate(dag.edges):
+            if edge.kind == REAL:
+                copy = DagEdge(
+                    klabel(edge.src, slot),
+                    klabel(edge.dst, slot),
+                    REAL,
+                    origin=edge.origin,
+                    taken=edge.taken,
+                )
+            elif edge.kind == EXIT_EDGE:
+                copy = DagEdge(klabel(edge.src, slot), EXIT_NODE, EXIT_EDGE)
+            elif edge.kind == DUMMY_ENTRY:
+                if slot != 0:
+                    continue  # windows begin only where 1-paths begin
+                copy = DagEdge(
+                    klabel(edge.src, 0), klabel(edge.dst, 0), DUMMY_ENTRY
+                )
+            elif edge.kind == DUMMY_EXIT:
+                bottom = dag.split_map.get(edge.src)
+                if bottom is None:
+                    raise CFGError(
+                        f"{dag.method_name}: dummy exit from {edge.src!r} "
+                        "has no split-map bottom; k-unrolling requires the "
+                        "PEP construction"
+                    )
+                if slot < k - 1:
+                    copy = DagEdge(
+                        klabel(edge.src, slot),
+                        klabel(bottom, slot + 1),
+                        CARRY,
+                    )
+                else:
+                    copy = DagEdge(
+                        klabel(edge.src, slot), EXIT_NODE, DUMMY_EXIT
+                    )
+            else:
+                raise CFGError(
+                    f"{dag.method_name}: unknown edge kind {edge.kind!r}"
+                )
+            kdag.add_edge(copy)
+            kdag.kedge_map[(slot, index)] = copy
+
+    for top, bottom in dag.split_map.items():
+        for slot in range(k):
+            kdag.split_map[klabel(top, slot)] = klabel(bottom, slot)
+    for top, bottom in dag.truncated:
+        kdag.truncated.append((klabel(top, 0), klabel(bottom, 0)))
+
+    kdag.topo_order()  # validates acyclicity early
+    return kdag

@@ -35,6 +35,8 @@ from repro.bytecode.method import Method, Program
 from repro.profiling.edges import EdgeProfile
 from repro.util.flags import (
     fixedcost_enabled,
+    kblpp_enabled,
+    kblpp_k,
     pgo_inline_enabled,
     pgo_layout_enabled,
     samplefast_enabled,
@@ -84,7 +86,14 @@ DEFAULT_BOUND = 2048
 # predate all of that (and the recalibrated dyadic tier multipliers
 # shift their cost fingerprints anyway), so a format-6 cache loaded
 # under format 7 is dropped wholesale.
-_FORMAT = 7
+# Format 8: the ``sb_*`` slots may carry k-iteration superblock traces
+# (``sb_path <= -2``, DESIGN.md §16) whose fingerprints fold in the
+# resolved window width, and the keys gained the resolved
+# ``REPRO_KBLPP``/``REPRO_KBLPP_K`` pair so a persisted k-trace never
+# revives under a different k (or with the tier off) via a key hit.
+# Format-7 entries predate the encoding, so a format-7 cache loaded
+# under format 8 is dropped wholesale.
+_FORMAT = 8
 
 
 # -- fingerprints -----------------------------------------------------------
@@ -197,6 +206,12 @@ def optimize_key(
         # must never revive under REPRO_WARMJIT=0 via a key hit.
         fixedcost_enabled(),
         warmjit_enabled(),
+        # Resolved k-iteration components (format 8): a cached method
+        # may carry a k-trace in its sb_* slots, and the window width
+        # is baked into its fingerprint — neither may conflate across
+        # a REPRO_KBLPP flip or a k change.
+        kblpp_enabled(),
+        kblpp_k(),
     )
 
 

@@ -1,9 +1,10 @@
 """The named benchmark suite (paper section 5).
 
 SPEC JVM98 (compress, jess, db, javac, mpegaudio, mtrt, jack), a
-fixed-workload SPEC JBB2000 (pseudojbb), and the DaCapo benchmarks that
-ran on Jikes RVM (antlr, bloat, fop, pmd, ps, xalan; hsqldb omitted as in
-the paper).
+fixed-workload SPEC JBB2000 (pseudojbb), the DaCapo benchmarks that ran
+on Jikes RVM (antlr, bloat, fop, pmd, ps, xalan; hsqldb omitted as in
+the paper), and three bimodal alternating-arm kernels (zigzag, seesaw,
+pingpong) exercising the k-iteration tier (DESIGN.md §16).
 
 ``ticks_target`` scales each benchmark's virtual timer so a run receives
 a paper-proportional number of ticks: the paper's runs last ~4-30 s at
@@ -16,7 +17,7 @@ from typing import Callable, Dict, List
 
 from repro.bytecode.method import Program
 from repro.errors import WorkloadError
-from repro.workloads import dacapo, specjvm
+from repro.workloads import bimodal, dacapo, specjvm
 
 
 class Workload:
@@ -60,13 +61,18 @@ _SUITE: List[Workload] = [
     Workload("pmd", dacapo.build_pmd, 75, "dacapo"),
     Workload("ps", dacapo.build_ps, 90, "dacapo"),
     Workload("xalan", dacapo.build_xalan, 90, "dacapo"),
+    # Bimodal alternating-arm kernels (DESIGN.md §16): no dominant
+    # 1-path, a dominant 2-iteration window — the k-BLPP shape.
+    Workload("zigzag", bimodal.build_zigzag, 70, "bimodal"),
+    Workload("seesaw", bimodal.build_seesaw, 70, "bimodal"),
+    Workload("pingpong", bimodal.build_pingpong, 70, "bimodal"),
 ]
 
 _BY_NAME: Dict[str, Workload] = {w.name: w for w in _SUITE}
 
 
 def benchmark_suite() -> List[Workload]:
-    """All fourteen workloads, in the paper's grouping order."""
+    """All seventeen workloads, in the paper's grouping order."""
     return list(_SUITE)
 
 

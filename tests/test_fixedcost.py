@@ -107,16 +107,22 @@ def braided_helper_program(calls: int = 240, inner: int = 36) -> Program:
 
 def _warm_run(program: Program, warm: bool, resilience=None,
               tick_interval: float = 600.0):
-    """One adaptive run with tracefast on and warmjit pinned on/off."""
-    old_tf, old_wj = flags.TRACEFAST, flags.WARMJIT
-    flags.TRACEFAST, flags.WARMJIT = True, warm
+    """One adaptive run with tracefast on and warmjit pinned on/off.
+
+    k-BLPP is pinned off: the braided kernel has no dominant 1-path by
+    construction, but its periodic arms DO yield a dominant k-window, and
+    the controller's k-fallback would upgrade the warm ladder to a
+    multi-iteration trace — these tests exercise the warm tier itself.
+    """
+    old_tf, old_wj, old_kb = flags.TRACEFAST, flags.WARMJIT, flags.KBLPP
+    flags.TRACEFAST, flags.WARMJIT, flags.KBLPP = True, warm, False
     try:
         return _adaptive_run(
             program, superblock=True, resilience=resilience,
             tick_interval=tick_interval,
         )
     finally:
-        flags.TRACEFAST, flags.WARMJIT = old_tf, old_wj
+        flags.TRACEFAST, flags.WARMJIT, flags.KBLPP = old_tf, old_wj, old_kb
 
 
 # -- the Q20 grid ------------------------------------------------------------
@@ -382,7 +388,7 @@ def test_warmjit_compile_fault_degrades(monkeypatch):
     assert _digest(vm, result) == _digest(base_vm, base_res)
 
 
-# -- whole-suite kill-switch parity (all 14 bundled workloads) ---------------
+# -- whole-suite kill-switch parity (all bundled workloads) ---------------
 
 
 def _flag_checksum(workload: str, fixedcost: bool, warmjit: bool) -> str:

@@ -414,7 +414,7 @@ def test_flag_flip_invalidates_persisted_trace(monkeypatch):
     assert cm.sb_source is None  # stale artefact cleared, not replayed
 
 
-# -- whole-suite parity (all 14 bundled workloads) ---------------------------
+# -- whole-suite parity (all bundled workloads) ---------------------------
 
 
 def _workload_checksum(workload: str, pgo_on: bool) -> str:

@@ -471,7 +471,7 @@ def test_pickle_roundtrip_run_parity():
     assert runs[0] == runs[1]
 
 
-# -- whole-suite parity (all 14 bundled workloads) ---------------------------
+# -- whole-suite parity (all bundled workloads) ---------------------------
 
 
 def _workload_checksum(workload: str, superblock: bool) -> str:

@@ -471,7 +471,7 @@ def test_aot_load_is_none_without_toolchain(monkeypatch):
     assert aot.load_functions(cm, source) is None
 
 
-# -- whole-suite parity (all 14 bundled workloads) ---------------------------
+# -- whole-suite parity (all bundled workloads) ---------------------------
 
 
 def _workload_checksum(workload: str, tf: bool) -> str:

@@ -16,8 +16,8 @@ SMALL = 0.25  # tiny scale: structure checks, not measurements
 def test_suite_composition():
     suite = benchmark_suite()
     names = [w.name for w in suite]
-    assert len(names) == 14
-    assert len(set(names)) == 14
+    assert len(names) == 17
+    assert len(set(names)) == 17
     # The paper's SPEC JVM98 + pseudojbb + DaCapo (minus hsqldb).
     assert {"compress", "jess", "db", "javac", "mpegaudio", "mtrt", "jack"} <= set(
         names
@@ -25,8 +25,10 @@ def test_suite_composition():
     assert "pseudojbb" in names
     assert {"antlr", "bloat", "fop", "pmd", "ps", "xalan"} <= set(names)
     assert "hsqldb" not in names
+    # The bimodal alternating-arm kernels (DESIGN.md §16).
+    assert {"zigzag", "seesaw", "pingpong"} <= set(names)
     groups = {w.group for w in suite}
-    assert groups == {"specjvm98", "specjbb", "dacapo"}
+    assert groups == {"specjvm98", "specjbb", "dacapo", "bimodal"}
 
 
 def test_get_workload():
